@@ -1,0 +1,148 @@
+//! Ablation benchmarks for the design choices called out in `DESIGN.md`:
+//! throughput normalization (§III-B), interval length (§III-D), the
+//! reconstruction heuristics, and the monitoring-overhead trade-off (§I).
+//! These measure *compute cost*; the corresponding *quality* comparisons
+//! live in the test suites and figure harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fgbd_bench::short_run;
+use fgbd_core::nstar::{self, NStarConfig};
+use fgbd_core::series::{LoadSeries, ThroughputSeries, Window};
+use fgbd_des::SimDuration;
+use fgbd_metrics::sampler::{sampling_overhead_frac, UtilizationSeries};
+use fgbd_ntier::config::Jdk;
+use fgbd_trace::reconstruct::{Heuristic, Reconstruction};
+use fgbd_trace::servicetime::ServiceTimeTable;
+use fgbd_trace::SpanSet;
+
+fn bench_normalization(c: &mut Criterion) {
+    let run = short_run(2_000, Jdk::Jdk16, false, true);
+    let spans = SpanSet::extract(&run.log);
+    let node = run.node_of("mysql-1").expect("mysql exists");
+    let rec = Reconstruction::run(&run.log, Heuristic::ProfileGuided);
+    let services = ServiceTimeTable::approximate(&rec, 0.15);
+    let window = Window::new(run.warmup_end, run.horizon, SimDuration::from_millis(50));
+    let mut group = c.benchmark_group("ablation_normalization");
+    // Straightforward counting = the same series with an empty table (every
+    // span falls back to the capped-residence path).
+    let empty = ServiceTimeTable::new();
+    group.bench_function("straightforward_counts", |b| {
+        b.iter(|| {
+            ThroughputSeries::from_spans(
+                black_box(spans.server(node)),
+                window,
+                &empty,
+                SimDuration::from_micros(100),
+            )
+        });
+    });
+    group.bench_function("normalized_work_units", |b| {
+        b.iter(|| {
+            ThroughputSeries::from_spans(
+                black_box(spans.server(node)),
+                window,
+                &services,
+                SimDuration::from_micros(100),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_interval_length(c: &mut Criterion) {
+    let run = short_run(2_000, Jdk::Jdk16, false, true);
+    let spans = SpanSet::extract(&run.log);
+    let node = run.node_of("tomcat-1").expect("tomcat exists");
+    let mut group = c.benchmark_group("ablation_interval_length");
+    for ms in [20u64, 50, 1_000] {
+        let window = Window::new(run.warmup_end, run.horizon, SimDuration::from_millis(ms));
+        group.bench_with_input(BenchmarkId::new("load_series", ms), &window, |b, &w| {
+            b.iter(|| LoadSeries::from_spans(black_box(spans.server(node)), w));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let run = short_run(1_000, Jdk::Jdk16, false, true);
+    let mut group = c.benchmark_group("ablation_reconstruction");
+    group.sample_size(10);
+    for (name, h) in [
+        ("longest_quiescent", Heuristic::LongestQuiescent),
+        ("most_recent", Heuristic::MostRecent),
+        ("fifo", Heuristic::Fifo),
+        ("profile_guided", Heuristic::ProfileGuided),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| Reconstruction::run(black_box(&run.log), h));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let run = short_run(2_000, Jdk::Jdk16, false, false);
+    let idx = run.server_index("tomcat-1").expect("tomcat exists");
+    let cumulative: Vec<_> = run.cpu_busy[idx]
+        .iter()
+        .map(|s| (s.at, s.busy_core_seconds))
+        .collect();
+    let mut group = c.benchmark_group("ablation_sampling");
+    for ms in [20u64, 100, 1_000] {
+        // Also report the modeled monitor overhead at this period: the
+        // paper's reason sampling cannot simply be made finer.
+        let overhead = sampling_overhead_frac(SimDuration::from_millis(ms));
+        group.bench_with_input(
+            BenchmarkId::new(format!("sample_p{:.0}pct_overhead", overhead * 100.0), ms),
+            &ms,
+            |b, &ms| {
+                b.iter(|| {
+                    UtilizationSeries::sample(
+                        black_box(&cumulative),
+                        1,
+                        SimDuration::from_millis(ms),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nstar_estimators(c: &mut Criterion) {
+    // The three congestion-point estimators on identical noisy data.
+    let n = 8_000;
+    let mut loads = Vec::with_capacity(n);
+    let mut tputs = Vec::with_capacity(n);
+    for i in 0..n {
+        let ld = 40.0 * ((i * 2_654_435_761usize) % 1_000) as f64 / 1_000.0 + 0.05;
+        let tp = if ld < 9.0 { 420.0 * ld } else { 3_780.0 };
+        let wiggle = (((i * 48_271) % 200) as f64 / 200.0 - 0.5) * 0.12;
+        loads.push(ld);
+        tputs.push(tp * (1.0 + wiggle));
+    }
+    let cfg = NStarConfig::default();
+    let mut group = c.benchmark_group("ablation_nstar_estimators");
+    group.bench_function("paper_intervention", |b| {
+        b.iter(|| nstar::estimate(black_box(&loads), black_box(&tputs), &cfg));
+    });
+    group.bench_function("two_segment_lsq", |b| {
+        b.iter(|| nstar::estimate_two_segment(black_box(&loads), black_box(&tputs), &cfg));
+    });
+    group.bench_function("median_bins", |b| {
+        b.iter(|| nstar::estimate_median(black_box(&loads), black_box(&tputs), &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_normalization,
+    bench_interval_length,
+    bench_reconstruction,
+    bench_sampling,
+    bench_nstar_estimators
+);
+criterion_main!(benches);

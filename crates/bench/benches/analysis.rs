@@ -1,0 +1,192 @@
+//! Criterion benchmarks of the fine-grained analysis pipeline: how fast can
+//! the detector chew through a capture? (The paper's method must keep up
+//! with production traces; SysViz processed multi-tier traffic online.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use fgbd_core::detect::{analyze_server, DetectorConfig};
+use fgbd_core::nstar::{self, NStarConfig};
+use fgbd_core::plateau::{find_plateaus, PlateauConfig};
+use fgbd_core::series::{LoadSeries, ThroughputSeries, Window};
+use fgbd_des::{Dice, SimDuration, SimTime};
+use fgbd_trace::capture::{read_capture, write_capture};
+use fgbd_trace::servicetime::ServiceTimeTable;
+use fgbd_trace::{
+    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, Span, TraceLog, TxnId,
+};
+
+/// Builds a synthetic 60-second span log at roughly `rate` requests/s with
+/// bursty congestion episodes.
+fn synthetic_spans(rate: u64, seed: u64) -> Vec<Span> {
+    let mut dice = Dice::seed(seed);
+    let mut spans = Vec::new();
+    let horizon_us = 60_000_000u64;
+    let mut t = 0u64;
+    while t < horizon_us {
+        // Bursty arrivals: occasionally pack 30 requests together.
+        let batch = if dice.chance(0.02) { 30 } else { 1 };
+        for _ in 0..batch {
+            let service_us = (dice.exp(1_500.0)) as u64 + 100;
+            spans.push(Span {
+                server: NodeId(1),
+                class: ClassId(dice.index(8) as u16),
+                arrival: SimTime::from_micros(t),
+                departure: SimTime::from_micros(t + service_us + dice.index(5_000) as u64),
+                conn: ConnId(0),
+                truth: None,
+            });
+        }
+        t += 1_000_000 / rate;
+    }
+    spans
+}
+
+fn services() -> ServiceTimeTable {
+    let mut t = ServiceTimeTable::new();
+    for c in 0..8u16 {
+        t.insert(
+            NodeId(1),
+            ClassId(c),
+            SimDuration::from_micros(800 + 300 * u64::from(c)),
+        );
+    }
+    t
+}
+
+fn bench_series(c: &mut Criterion) {
+    let spans = synthetic_spans(2_000, 7);
+    let window = Window::new(
+        SimTime::ZERO,
+        SimTime::from_secs(60),
+        SimDuration::from_millis(50),
+    );
+    let svc = services();
+    c.bench_function("load_series_120k_spans", |b| {
+        b.iter(|| LoadSeries::from_spans(black_box(&spans), window));
+    });
+    c.bench_function("throughput_series_120k_spans", |b| {
+        b.iter(|| {
+            ThroughputSeries::from_spans(
+                black_box(&spans),
+                window,
+                &svc,
+                SimDuration::from_micros(400),
+            )
+        });
+    });
+}
+
+fn bench_nstar(c: &mut Criterion) {
+    // Pre-computed (load, tput) samples with a knee.
+    let n = 10_000;
+    let mut loads = Vec::with_capacity(n);
+    let mut tputs = Vec::with_capacity(n);
+    for i in 0..n {
+        let ld = 50.0 * ((i * 2_654_435_761usize) % 1_000) as f64 / 1_000.0 + 0.05;
+        let tp = if ld < 12.0 { 300.0 * ld } else { 3_600.0 };
+        loads.push(ld);
+        tputs.push(tp * (1.0 + 0.05 * (((i * 40_503) % 100) as f64 / 100.0 - 0.5)));
+    }
+    c.bench_function("nstar_estimate_10k_samples", |b| {
+        b.iter(|| nstar::estimate(black_box(&loads), black_box(&tputs), &NStarConfig::default()));
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let spans = synthetic_spans(2_000, 11);
+    let window = Window::new(
+        SimTime::ZERO,
+        SimTime::from_secs(60),
+        SimDuration::from_millis(50),
+    );
+    let svc = services();
+    c.bench_function("full_detector_pipeline_60s_capture", |b| {
+        b.iter(|| {
+            analyze_server(
+                black_box(&spans),
+                NodeId(1),
+                window,
+                &svc,
+                SimDuration::from_micros(400),
+                &DetectorConfig::default(),
+            )
+        });
+    });
+}
+
+fn bench_plateau(c: &mut Criterion) {
+    let mut dice = Dice::seed(13);
+    let values: Vec<f64> = (0..3_000)
+        .map(|_| {
+            let level = [3_700.0, 5_000.0, 7_000.0][dice.index(3)];
+            level + dice.normal(0.0, 120.0)
+        })
+        .collect();
+    c.bench_function("plateau_modes_3k_samples", |b| {
+        b.iter_batched(
+            || values.clone(),
+            |v| find_plateaus(black_box(&v), &PlateauConfig::default()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_capture(c: &mut Criterion) {
+    // A 200k-record synthetic capture (~6 MB on disk).
+    let mut log = TraceLog::new(vec![
+        NodeMeta {
+            id: NodeId(0),
+            name: "clients".into(),
+            kind: NodeKind::Client,
+            tier: None,
+        },
+        NodeMeta {
+            id: NodeId(1),
+            name: "web-1".into(),
+            kind: NodeKind::Server,
+            tier: Some(0),
+        },
+    ]);
+    for i in 0..200_000u64 {
+        log.push(MsgRecord {
+            at: SimTime::from_micros(i * 3),
+            src: NodeId((i % 2) as u16),
+            dst: NodeId(((i + 1) % 2) as u16),
+            kind: if i % 2 == 0 {
+                MsgKind::Request
+            } else {
+                MsgKind::Response
+            },
+            conn: ConnId((i % 512) as u32),
+            class: ClassId((i % 24) as u16),
+            bytes: 512,
+            truth: Some(TxnId(i / 2)),
+        });
+    }
+    let mut encoded = Vec::new();
+    write_capture(&mut encoded, &log).expect("encode");
+    let mut group = c.benchmark_group("capture_format");
+    group.throughput(criterion::Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("write_200k_records", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            write_capture(&mut buf, black_box(&log)).expect("encode");
+            buf
+        });
+    });
+    group.bench_function("read_200k_records", |b| {
+        b.iter(|| read_capture(black_box(encoded.as_slice())).expect("decode"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_series,
+    bench_nstar,
+    bench_detector,
+    bench_plateau,
+    bench_capture
+);
+criterion_main!(benches);

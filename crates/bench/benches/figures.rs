@@ -1,0 +1,61 @@
+//! Reduced-scale end-to-end figure pipelines: each bench runs the full
+//! simulate → capture → calibrate → detect chain that the corresponding
+//! `fgbd-repro` binary runs at full scale, so regressions in any stage show
+//! up as wall-clock changes here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fgbd_bench::short_run;
+use fgbd_core::detect::{analyze_server, DetectorConfig};
+use fgbd_core::plateau::{find_plateaus, PlateauConfig};
+use fgbd_core::series::Window;
+use fgbd_des::SimDuration;
+use fgbd_ntier::config::Jdk;
+use fgbd_trace::reconstruct::{Heuristic, Reconstruction};
+use fgbd_trace::servicetime::ServiceTimeTable;
+use fgbd_trace::SpanSet;
+
+fn detect_pipeline(users: u32, jdk: Jdk, speedstep: bool, server: &str) -> usize {
+    let run = short_run(users, jdk, speedstep, true);
+    let spans = SpanSet::extract(&run.log);
+    let node = run.node_of(server).expect("server exists");
+    let rec = Reconstruction::run(&run.log, Heuristic::ProfileGuided);
+    let services = ServiceTimeTable::approximate(&rec, 0.15);
+    let wu = services
+        .work_unit(node, SimDuration::from_micros(100))
+        .unwrap_or(SimDuration::from_micros(100));
+    let window = Window::new(run.warmup_end, run.horizon, SimDuration::from_millis(50));
+    let report = analyze_server(
+        spans.server(node),
+        node,
+        window,
+        &services,
+        wu,
+        &DetectorConfig::default(),
+    );
+    let congested: Vec<f64> = report
+        .congested_samples()
+        .iter()
+        .map(|&(_, t)| t)
+        .collect();
+    report.congested_intervals() + find_plateaus(&congested, &PlateauConfig::default()).len()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_pipelines");
+    group.sample_size(10);
+    group.bench_function("fig09_gc_tomcat_small", |b| {
+        b.iter(|| black_box(detect_pipeline(2_000, Jdk::Jdk15, false, "tomcat-1")));
+    });
+    group.bench_function("fig12_speedstep_mysql_small", |b| {
+        b.iter(|| black_box(detect_pipeline(2_000, Jdk::Jdk16, true, "mysql-1")));
+    });
+    group.bench_function("fig13_pinned_p0_mysql_small", |b| {
+        b.iter(|| black_box(detect_pipeline(2_000, Jdk::Jdk16, false, "mysql-1")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of the n-tier simulator itself: events per second
+//! across workload levels and transient-event models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fgbd_bench::short_run;
+use fgbd_des::{SimDuration, SimTime, Simulation};
+use fgbd_ntier::config::{Jdk, SystemConfig};
+use fgbd_ntier::system::{Ev, NTierSystem};
+
+fn events_for(users: u32, jdk: Jdk, speedstep: bool) -> u64 {
+    let mut cfg = SystemConfig::paper_1l2s1l2s(users, jdk, speedstep, 42);
+    cfg.warmup = SimDuration::from_secs(2);
+    cfg.duration = SimDuration::from_secs(10);
+    cfg.capture = false;
+    let horizon = SimTime::ZERO + cfg.warmup + cfg.duration;
+    let mut sim = Simulation::new(NTierSystem::new(cfg));
+    sim.prime(SimTime::ZERO, Ev::Boot);
+    sim.run_until(horizon);
+    sim.events_processed()
+}
+
+fn bench_event_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_event_rate");
+    group.sample_size(10);
+    for users in [500u32, 2_000, 4_000] {
+        let events = events_for(users, Jdk::Jdk16, false);
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::new("wl", users), &users, |b, &users| {
+            b.iter(|| black_box(short_run(users, Jdk::Jdk16, false, false)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_models");
+    group.sample_size(10);
+    group.bench_function("baseline_jdk16", |b| {
+        b.iter(|| black_box(short_run(2_000, Jdk::Jdk16, false, false)));
+    });
+    group.bench_function("with_serial_gc", |b| {
+        b.iter(|| black_box(short_run(2_000, Jdk::Jdk15, false, false)));
+    });
+    group.bench_function("with_speedstep", |b| {
+        b.iter(|| black_box(short_run(2_000, Jdk::Jdk16, true, false)));
+    });
+    group.bench_function("with_capture", |b| {
+        b.iter(|| black_box(short_run(2_000, Jdk::Jdk16, false, true)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_rate, bench_transient_models);
+criterion_main!(benches);

@@ -1,0 +1,308 @@
+//! Automatic monitoring-interval selection — the paper's stated future work
+//! (§III-D: "An automatic way to choose a proper time interval length is
+//! part of our future research").
+//!
+//! §III-D frames the trade-off: too *short* an interval blurs the main
+//! sequence curve (few completions per window make normalized throughput
+//! noisy), while too *long* an interval averages the transient load peaks
+//! away. This module scores candidate interval lengths on both axes and
+//! picks the shortest candidate whose throughput noise is acceptable:
+//!
+//! * **noise(ℓ)** — the relative spread (coefficient of variation) of
+//!   normalized throughput among the busiest intervals, where the curve
+//!   should sit on its plateau. Shrinks as ℓ grows (more completions per
+//!   window average the normalization error out).
+//! * **peak retention(ℓ)** — how much of the fine-grained load peak the
+//!   grid still sees (max load at ℓ relative to max load at the finest
+//!   candidate). Shrinks as ℓ grows (Fig 8c: 1 s hides the transients).
+//!
+//! The selector returns the shortest candidate with
+//! `noise ≤ max_noise`, falling back to the candidate with the best
+//! noise-to-retention balance when none qualifies.
+
+use fgbd_des::SimDuration;
+use fgbd_trace::servicetime::ServiceTimeTable;
+use fgbd_trace::Span;
+use serde::{Deserialize, Serialize};
+
+use crate::series::{LoadSeries, ThroughputSeries, Window};
+use crate::stats;
+
+/// Parameters of the interval selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSelectConfig {
+    /// Candidate interval lengths, ascending. Default: 10 ms to 1 s.
+    pub candidates: Vec<SimDuration>,
+    /// Highest acceptable throughput noise (CV) among busy intervals.
+    pub max_noise: f64,
+    /// Fraction of intervals (by load, descending) considered "busy" for
+    /// the noise measurement.
+    pub busy_fraction: f64,
+}
+
+impl Default for IntervalSelectConfig {
+    fn default() -> Self {
+        IntervalSelectConfig {
+            candidates: [10u64, 20, 50, 100, 200, 500, 1_000]
+                .into_iter()
+                .map(SimDuration::from_millis)
+                .collect(),
+            max_noise: 0.12,
+            busy_fraction: 0.1,
+        }
+    }
+}
+
+/// The per-candidate evidence the selector weighed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalScore {
+    /// Candidate interval length.
+    pub interval: SimDuration,
+    /// Throughput CV among the busiest intervals (lower = cleaner curve).
+    pub noise: f64,
+    /// Max load at this grid relative to the finest grid (1.0 = nothing
+    /// lost; toward 0 = transients averaged away).
+    pub peak_retention: f64,
+    /// Number of whole intervals the window yields at this length.
+    pub intervals: usize,
+}
+
+/// The selector's decision with its full scoring table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSelection {
+    /// The chosen interval length.
+    pub chosen: SimDuration,
+    /// Scores for every candidate, in candidate order.
+    pub scores: Vec<IntervalScore>,
+}
+
+/// Picks a monitoring interval for `spans` over `window_bounds`.
+///
+/// Returns `None` when no candidate produces at least 20 whole intervals
+/// with completions (too little data to score).
+///
+/// # Panics
+///
+/// Panics if `cfg.candidates` is empty or unsorted, or if `cfg.max_noise`
+/// or `cfg.busy_fraction` is not positive.
+pub fn auto_interval(
+    spans: &[Span],
+    start: fgbd_des::SimTime,
+    end: fgbd_des::SimTime,
+    services: &ServiceTimeTable,
+    work_unit: SimDuration,
+    cfg: &IntervalSelectConfig,
+) -> Option<IntervalSelection> {
+    assert!(!cfg.candidates.is_empty(), "need candidates");
+    assert!(
+        cfg.candidates.windows(2).all(|w| w[0] < w[1]),
+        "candidates must ascend"
+    );
+    assert!(
+        cfg.max_noise > 0.0 && cfg.busy_fraction > 0.0,
+        "thresholds must be positive"
+    );
+
+    let mut scores = Vec::with_capacity(cfg.candidates.len());
+    let mut finest_peak: Option<f64> = None;
+    for &interval in &cfg.candidates {
+        if end <= start {
+            return None;
+        }
+        let window = Window::new(start, end, interval);
+        if window.len() < 20 {
+            continue;
+        }
+        let load = LoadSeries::from_spans(spans, window);
+        let tput = ThroughputSeries::from_spans(spans, window, services, work_unit);
+        let peak = load.values().iter().copied().fold(0.0, f64::max);
+        if finest_peak.is_none() {
+            finest_peak = Some(peak);
+        }
+        let retention = match finest_peak {
+            Some(p) if p > 0.0 => peak / p,
+            _ => 1.0,
+        };
+
+        // Busiest intervals by load.
+        let mut order: Vec<usize> = (0..load.len()).collect();
+        order.sort_by(|&a, &b| {
+            load.get(b)
+                .partial_cmp(&load.get(a))
+                .expect("loads are finite")
+        });
+        let busy_n = ((load.len() as f64 * cfg.busy_fraction).ceil() as usize).max(5);
+        let busy_tputs: Vec<f64> = order
+            .iter()
+            .take(busy_n)
+            .map(|&i| tput.unit_rate(i))
+            .filter(|&t| t > 0.0)
+            .collect();
+        if busy_tputs.len() < 5 {
+            continue;
+        }
+        let noise = stats::std_dev(&busy_tputs) / stats::mean(&busy_tputs).max(1e-9);
+        scores.push(IntervalScore {
+            interval,
+            noise,
+            peak_retention: retention,
+            intervals: window.len(),
+        });
+    }
+    if scores.is_empty() {
+        return None;
+    }
+    // Shortest acceptable-noise candidate; otherwise the best balance of
+    // low noise and high retention.
+    let chosen = scores
+        .iter()
+        .find(|s| s.noise <= cfg.max_noise)
+        .or_else(|| {
+            scores.iter().min_by(|a, b| {
+                let score_a = a.noise + (1.0 - a.peak_retention);
+                let score_b = b.noise + (1.0 - b.peak_retention);
+                score_a.partial_cmp(&score_b).expect("finite scores")
+            })
+        })?
+        .interval;
+    Some(IntervalSelection { chosen, scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgbd_des::{Dice, SimTime};
+    use fgbd_trace::{ClassId, ConnId, NodeId};
+
+    /// FCFS replay with mixed service times (1x and 3x) and periodic
+    /// bursts — normalization noise shrinks with interval length while the
+    /// burst peaks wash out, exactly the §III-D trade-off.
+    fn bursty_mixed_spans() -> Vec<Span> {
+        let mut dice = Dice::seed(21);
+        let mut spans = Vec::new();
+        let mut free_at = 0u64;
+        let mut t = 0.0f64;
+        while t < 60.0 {
+            // Background 60/s plus a strong burst every 4 s.
+            let in_burst = (t % 4.0) < 0.2;
+            let rate = if in_burst { 400.0 } else { 60.0 };
+            t += dice.exp(1.0 / rate);
+            let a = (t * 1e6) as u64;
+            let service = if dice.chance(0.3) { 18_000 } else { 6_000 };
+            let start = a.max(free_at);
+            let end = start + service;
+            spans.push(Span {
+                server: NodeId(1),
+                class: ClassId(if service > 10_000 { 1 } else { 0 }),
+                arrival: SimTime::from_micros(a),
+                departure: SimTime::from_micros(end),
+                conn: ConnId(0),
+                truth: None,
+            });
+            free_at = end;
+        }
+        spans
+    }
+
+    fn services() -> ServiceTimeTable {
+        let mut s = ServiceTimeTable::new();
+        s.insert(NodeId(1), ClassId(0), SimDuration::from_micros(6_000));
+        s.insert(NodeId(1), ClassId(1), SimDuration::from_micros(18_000));
+        s
+    }
+
+    #[test]
+    fn selector_prefers_mid_range_intervals() {
+        let spans = bursty_mixed_spans();
+        let sel = auto_interval(
+            &spans,
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            &services(),
+            SimDuration::from_micros(6_000),
+            &IntervalSelectConfig::default(),
+        )
+        .expect("selection expected");
+        // Neither the noisiest extreme (10 ms) nor the blind one (1 s).
+        assert!(
+            sel.chosen >= SimDuration::from_millis(20)
+                && sel.chosen <= SimDuration::from_millis(200),
+            "chose {}",
+            sel.chosen
+        );
+        // The scoring table exposes the §III-D monotonics: noise falls with
+        // interval length; retention falls too.
+        let noises: Vec<f64> = sel.scores.iter().map(|s| s.noise).collect();
+        let rets: Vec<f64> = sel.scores.iter().map(|s| s.peak_retention).collect();
+        assert!(noises.first() > noises.last(), "noise did not shrink: {noises:?}");
+        assert!(rets.first() > rets.last(), "retention did not shrink: {rets:?}");
+    }
+
+    #[test]
+    fn short_capture_yields_none() {
+        let spans = vec![Span {
+            server: NodeId(1),
+            class: ClassId(0),
+            arrival: SimTime::from_micros(0),
+            departure: SimTime::from_micros(5_000),
+            conn: ConnId(0),
+            truth: None,
+        }];
+        assert!(auto_interval(
+            &spans,
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+            &services(),
+            SimDuration::from_millis(5),
+            &IntervalSelectConfig::default(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn noise_threshold_steers_the_choice() {
+        let spans = bursty_mixed_spans();
+        let strict = auto_interval(
+            &spans,
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            &services(),
+            SimDuration::from_micros(6_000),
+            &IntervalSelectConfig {
+                max_noise: 0.02,
+                ..IntervalSelectConfig::default()
+            },
+        )
+        .expect("selection");
+        let lax = auto_interval(
+            &spans,
+            SimTime::ZERO,
+            SimTime::from_secs(60),
+            &services(),
+            SimDuration::from_micros(6_000),
+            &IntervalSelectConfig {
+                max_noise: 0.5,
+                ..IntervalSelectConfig::default()
+            },
+        )
+        .expect("selection");
+        assert!(lax.chosen <= strict.chosen, "lax {} strict {}", lax.chosen, strict.chosen);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn unsorted_candidates_panic() {
+        let cfg = IntervalSelectConfig {
+            candidates: vec![SimDuration::from_millis(50), SimDuration::from_millis(20)],
+            ..IntervalSelectConfig::default()
+        };
+        auto_interval(
+            &[],
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            &ServiceTimeTable::new(),
+            SimDuration::from_millis(10),
+            &cfg,
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Throughput-plateau (mode) detection for congested intervals — the
+//! analysis behind Fig 12: with SpeedStep enabled, MySQL's congested
+//! intervals cluster around one saturated-throughput level *per P-state the
+//! CPU visited* (≈3,700 / ≈5,000 / ≈7,000 req/s in the paper); with
+//! SpeedStep disabled a single plateau remains.
+//!
+//! Modes are found on a density histogram whose bin width scales with the
+//! data (a fraction of the median value), smoothed by a short moving
+//! average; peaks survive only with sufficient **topographic prominence**
+//! (the valley separating them from higher ground must dip well below the
+//! peak), which merges the ripples of a single broad cluster while keeping
+//! genuinely separated plateaus.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::percentile;
+
+/// Parameters of the mode finder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlateauConfig {
+    /// Histogram bin width as a fraction of the median value. Two plateaus
+    /// closer than about twice this fraction merge.
+    pub bandwidth_frac: f64,
+    /// Moving-average half-width (bins) used to smooth the histogram.
+    pub smooth: usize,
+    /// Minimum topographic prominence as a fraction of the peak's own
+    /// height: the saddle toward higher ground must dip below
+    /// `(1 − min_prominence) · height`.
+    pub min_prominence: f64,
+    /// Plateaus holding less than this fraction of samples are dropped.
+    pub min_share: f64,
+}
+
+impl Default for PlateauConfig {
+    fn default() -> Self {
+        PlateauConfig {
+            bandwidth_frac: 0.05,
+            smooth: 2,
+            min_prominence: 0.5,
+            min_share: 0.04,
+        }
+    }
+}
+
+/// One detected throughput plateau.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plateau {
+    /// Plateau level (mean of the samples assigned to it).
+    pub level: f64,
+    /// Fraction of congested intervals belonging to this plateau.
+    pub share: f64,
+}
+
+/// Finds throughput plateaus among congested-interval throughput values.
+///
+/// Returns plateaus ascending by level; empty when fewer than 8 samples are
+/// supplied (too little evidence to call modes).
+///
+/// # Panics
+///
+/// Panics if `cfg.bandwidth_frac` is not positive.
+pub fn find_plateaus(values: &[f64], cfg: &PlateauConfig) -> Vec<Plateau> {
+    assert!(cfg.bandwidth_frac > 0.0, "bandwidth must be positive");
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.len() < 8 {
+        return Vec::new();
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let median = percentile(&finite, 0.5).expect("non-empty");
+    let width = (cfg.bandwidth_frac * median.abs()).max(1e-12);
+    if hi - lo < width {
+        // All values within one bandwidth — a single plateau.
+        let level = finite.iter().sum::<f64>() / finite.len() as f64;
+        return vec![Plateau { level, share: 1.0 }];
+    }
+    // Bin so the smoothing window (2·smooth+1 bins) spans one bandwidth.
+    let bin_w = width / (2 * cfg.smooth + 1) as f64;
+    let bins = (((hi - lo) / bin_w).ceil() as usize).clamp(4, 4_000);
+    let bw = (hi - lo) / bins as f64;
+    let mut hist = vec![0.0f64; bins];
+    for &v in &finite {
+        let b = (((v - lo) / bw) as usize).min(bins - 1);
+        hist[b] += 1.0;
+    }
+    let smoothed: Vec<f64> = (0..bins)
+        .map(|i| {
+            let a = i.saturating_sub(cfg.smooth);
+            let b = (i + cfg.smooth + 1).min(bins);
+            hist[a..b].iter().sum::<f64>() / (b - a) as f64
+        })
+        .collect();
+
+    // Local maxima (plateau-tolerant: left side allows equality).
+    let maxima: Vec<usize> = (0..bins)
+        .filter(|&i| {
+            let v = smoothed[i];
+            v > 0.0
+                && (i == 0 || smoothed[i - 1] <= v)
+                && (i + 1 == bins || smoothed[i + 1] < v)
+        })
+        .collect();
+    if maxima.is_empty() {
+        return Vec::new();
+    }
+
+    // Topographic prominence: for each peak, the saddle is the higher of
+    // the two minima on the paths to the nearest strictly-higher bin on
+    // each side (or 0 at the data edge).
+    let prominent: Vec<usize> = maxima
+        .iter()
+        .copied()
+        .filter(|&p| {
+            let h = smoothed[p];
+            let saddle_toward = |range: &mut dyn Iterator<Item = usize>| -> Option<f64> {
+                let mut valley = h;
+                for j in range {
+                    valley = valley.min(smoothed[j]);
+                    if smoothed[j] > h {
+                        return Some(valley);
+                    }
+                }
+                None // reached the edge without meeting higher ground
+            };
+            let left = saddle_toward(&mut (0..p).rev());
+            let right = saddle_toward(&mut (p + 1..bins));
+            let saddle = match (left, right) {
+                (None, None) => return true, // the global maximum
+                (Some(s), None) | (None, Some(s)) => s,
+                (Some(a), Some(b)) => a.max(b),
+            };
+            h - saddle >= cfg.min_prominence * h
+        })
+        .collect();
+    if prominent.is_empty() {
+        return Vec::new();
+    }
+
+    // Assign every sample to the nearest surviving peak.
+    let centers: Vec<f64> = prominent
+        .iter()
+        .map(|&i| lo + bw * (i as f64 + 0.5))
+        .collect();
+    let mut mass = vec![0.0f64; centers.len()];
+    let mut sum = vec![0.0f64; centers.len()];
+    for &v in &finite {
+        let j = nearest(&centers, v);
+        mass[j] += 1.0;
+        sum[j] += v;
+    }
+    let total: f64 = mass.iter().sum();
+    let mut out: Vec<Plateau> = (0..centers.len())
+        .filter(|&j| mass[j] / total >= cfg.min_share)
+        .map(|j| Plateau {
+            level: sum[j] / mass[j],
+            share: mass[j] / total,
+        })
+        .collect();
+    out.sort_by(|a, b| a.level.partial_cmp(&b.level).expect("finite"));
+    out
+}
+
+fn nearest(centers: &[f64], v: f64) -> usize {
+    centers
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            (v - **a)
+                .abs()
+                .partial_cmp(&(v - **b).abs())
+                .expect("finite")
+        })
+        .map(|(i, _)| i)
+        .expect("centers non-empty")
+}
+
+/// Matches detected plateau levels to candidate capacity levels (e.g.
+/// per-P-state saturated throughputs); returns for each plateau the index of
+/// the nearest candidate. Used to attribute Fig 12's plateaus to Table II's
+/// P-states.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn match_levels(plateaus: &[Plateau], candidates: &[f64]) -> Vec<usize> {
+    assert!(!candidates.is_empty(), "need at least one candidate level");
+    plateaus.iter().map(|p| nearest(candidates, p.level)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic jitter in [-1, 1].
+    fn jitter(i: usize) -> f64 {
+        (((i * 2_654_435_761) % 2_000) as f64 / 1_000.0) - 1.0
+    }
+
+    #[test]
+    fn single_cluster_is_one_plateau() {
+        let values: Vec<f64> = (0..300).map(|i| 3_700.0 + 80.0 * jitter(i)).collect();
+        let p = find_plateaus(&values, &PlateauConfig::default());
+        assert_eq!(p.len(), 1, "plateaus {p:?}");
+        assert!((p[0].level - 3_700.0).abs() < 60.0);
+        assert!((p[0].share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_pstate_clusters_are_three_plateaus() {
+        // The Fig 12(b) shape: 3,470 / 4,626 / 6,553 with spread.
+        let mut values = Vec::new();
+        for i in 0..240 {
+            values.push(3_470.0 + 100.0 * jitter(i));
+        }
+        for i in 0..150 {
+            values.push(4_626.0 + 100.0 * jitter(i + 1_000));
+        }
+        for i in 0..180 {
+            values.push(6_553.0 + 120.0 * jitter(i + 2_000));
+        }
+        let p = find_plateaus(&values, &PlateauConfig::default());
+        assert_eq!(p.len(), 3, "plateaus {p:?}");
+        assert!((p[0].level - 3_470.0).abs() < 120.0);
+        assert!((p[1].level - 4_626.0).abs() < 120.0);
+        assert!((p[2].level - 6_553.0).abs() < 140.0);
+        let share_sum: f64 = p.iter().map(|x| x.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        // And they map onto the right P-state capacities.
+        let caps = [6_553.0, 6_168.0, 5_012.0, 4_626.0, 3_470.0];
+        assert_eq!(match_levels(&p, &caps), vec![4, 3, 0]);
+    }
+
+    #[test]
+    fn minority_plateau_survives_if_separated() {
+        let mut values = Vec::new();
+        for i in 0..500 {
+            values.push(6_500.0 + 100.0 * jitter(i));
+        }
+        for i in 0..40 {
+            values.push(3_500.0 + 60.0 * jitter(i + 9_000)); // 7.4% share
+        }
+        let p = find_plateaus(&values, &PlateauConfig::default());
+        assert_eq!(p.len(), 2, "plateaus {p:?}");
+        assert!(p[0].share > 0.05 && p[0].share < 0.10);
+    }
+
+    #[test]
+    fn tiny_sample_yields_nothing() {
+        assert!(find_plateaus(&[1.0, 2.0], &PlateauConfig::default()).is_empty());
+        assert!(find_plateaus(&[], &PlateauConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn identical_values_are_one_plateau() {
+        let values = vec![500.0; 100];
+        let p = find_plateaus(&values, &PlateauConfig::default());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].level, 500.0);
+    }
+
+    #[test]
+    fn close_clusters_merge() {
+        // Two clusters 3% apart: inside one bandwidth, must merge.
+        let mut values = Vec::new();
+        for i in 0..200 {
+            values.push(5_000.0 + 30.0 * jitter(i));
+        }
+        for i in 0..200 {
+            values.push(5_150.0 + 30.0 * jitter(i + 500));
+        }
+        let p = find_plateaus(&values, &PlateauConfig::default());
+        assert_eq!(p.len(), 1, "plateaus {p:?}");
+        assert!((p[0].level - 5_075.0).abs() < 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate")]
+    fn match_levels_rejects_empty_candidates() {
+        match_levels(
+            &[Plateau {
+                level: 1.0,
+                share: 1.0,
+            }],
+            &[],
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! Exact egalitarian processor-sharing (PS) integrator.
+//!
+//! A multi-core server processing `n` concurrent requests gives each request
+//! a service rate of `speed · min(1, cores/n)` work-units per second (each
+//! request runs on at most one core; beyond `cores` active requests the cores
+//! are shared equally). Because all active jobs progress at the *same* rate,
+//! attained service can be tracked with a single global accumulator: a job
+//! that arrives when the accumulator reads `A` completes when the accumulator
+//! reaches `A + demand`. This makes every insert/remove/completion O(log n)
+//! and introduces **no time-slicing discretization error** — essential when
+//! the analysis downstream looks at 50 ms windows.
+//!
+//! The integrator also supports `speed` changes (DVFS P-state transitions)
+//! and freezes (stop-the-world garbage collection), the two transient-event
+//! mechanisms studied in the paper.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque identifier of a job inside a [`PsIntegrator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// Completion-threshold key: ordered first by threshold value then by
+/// insertion sequence so equal thresholds complete FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct Key {
+    // Thresholds are non-negative finite f64s, for which IEEE-754 bit
+    // patterns order identically to the values themselves.
+    bits: u64,
+    seq: u64,
+}
+
+impl Key {
+    fn new(threshold: f64, seq: u64) -> Self {
+        debug_assert!(threshold.is_finite() && threshold >= 0.0);
+        Key {
+            bits: threshold.to_bits(),
+            seq,
+        }
+    }
+
+    fn threshold(self) -> f64 {
+        f64::from_bits(self.bits)
+    }
+}
+
+/// Exact processor-sharing progress integrator for one server.
+///
+/// Work is measured in *work-units*; in the n-tier simulator one work-unit is
+/// one megacycle, and `speed` is the CPU clock in MHz, so demands are
+/// CPU-time-at-reference-clock quantities.
+///
+/// # Examples
+///
+/// ```
+/// use fgbd_des::{JobId, PsIntegrator, SimTime};
+///
+/// // 1 core at 100 work-units/s.
+/// let mut ps = PsIntegrator::new(100.0, 1);
+/// ps.insert(SimTime::ZERO, JobId(1), 50.0); // needs 0.5 s alone
+/// ps.insert(SimTime::ZERO, JobId(2), 50.0); // shares the core -> 1.0 s
+/// let done = ps.next_completion(SimTime::ZERO).unwrap();
+/// assert_eq!(done, SimTime::from_secs(1));
+/// ```
+#[derive(Debug)]
+pub struct PsIntegrator {
+    speed: f64,
+    cores: u32,
+    frozen: bool,
+    /// Per-job attained service accumulator (work-units).
+    attained: f64,
+    last_update: SimTime,
+    jobs: BTreeMap<Key, JobId>,
+    index: HashMap<JobId, Key>,
+    seq: u64,
+    /// Integral of occupied cores over time (core-seconds of job progress).
+    busy_core_seconds: f64,
+}
+
+impl PsIntegrator {
+    /// Creates an idle integrator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed <= 0` or `cores == 0`.
+    pub fn new(speed: f64, cores: u32) -> Self {
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
+        assert!(cores > 0, "need at least one core");
+        PsIntegrator {
+            speed,
+            cores,
+            frozen: false,
+            attained: 0.0,
+            last_update: SimTime::ZERO,
+            jobs: BTreeMap::new(),
+            index: HashMap::new(),
+            seq: 0,
+            busy_core_seconds: 0.0,
+        }
+    }
+
+    /// Current per-job progress rate in work-units per second.
+    fn per_job_rate(&self) -> f64 {
+        if self.frozen || self.jobs.is_empty() {
+            return 0.0;
+        }
+        let n = self.jobs.len() as f64;
+        self.speed * (self.cores as f64 / n).min(1.0)
+    }
+
+    /// Number of cores currently doing job work.
+    fn cores_in_use(&self) -> f64 {
+        if self.frozen {
+            return 0.0;
+        }
+        (self.jobs.len() as f64).min(self.cores as f64)
+    }
+
+    /// Integrates progress up to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `now` precedes the last update — callers must only
+    /// move forward in time.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "PS integrator moved backwards");
+        let dt = now.saturating_since(self.last_update).as_secs_f64();
+        if dt > 0.0 {
+            self.attained += self.per_job_rate() * dt;
+            self.busy_core_seconds += self.cores_in_use() * dt;
+        }
+        self.last_update = now;
+    }
+
+    /// Changes the CPU clock (DVFS transition). Progress up to `now` is
+    /// integrated at the old speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed <= 0`.
+    pub fn set_speed(&mut self, now: SimTime, speed: f64) {
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
+        self.advance(now);
+        self.speed = speed;
+    }
+
+    /// Current CPU clock in work-units per second per core.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Freezes or thaws all job progress (stop-the-world GC). Progress up to
+    /// `now` is integrated with the old state.
+    pub fn set_frozen(&mut self, now: SimTime, frozen: bool) {
+        self.advance(now);
+        self.frozen = frozen;
+    }
+
+    /// `true` while a freeze is in effect.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Admits a job needing `demand` work-units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is not positive and finite, or if `job` is already
+    /// present.
+    pub fn insert(&mut self, now: SimTime, job: JobId, demand: f64) {
+        assert!(demand > 0.0 && demand.is_finite(), "demand must be positive");
+        self.advance(now);
+        let key = Key::new(self.attained + demand, self.seq);
+        self.seq += 1;
+        let prev = self.index.insert(job, key);
+        assert!(prev.is_none(), "job inserted twice: {job:?}");
+        self.jobs.insert(key, job);
+    }
+
+    /// Removes a job before completion, returning its remaining work-units,
+    /// or `None` if the job is not present.
+    pub fn remove(&mut self, now: SimTime, job: JobId) -> Option<f64> {
+        self.advance(now);
+        let key = self.index.remove(&job)?;
+        self.jobs.remove(&key);
+        Some((key.threshold() - self.attained).max(0.0))
+    }
+
+    /// The absolute time at which the next job will complete if nothing else
+    /// changes, rounded *up* to the next microsecond. `None` if the
+    /// integrator is empty or frozen.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
+        self.advance(now);
+        let rate = self.per_job_rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        let min_thr = self.jobs.keys().next()?.threshold();
+        let remaining = (min_thr - self.attained).max(0.0);
+        let dt_us = (remaining / rate * 1e6).ceil() as u64;
+        now.checked_add(SimDuration::from_micros(dt_us))
+    }
+
+    /// Pops every job whose service demand has been met by `now`, in
+    /// completion order.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<JobId> {
+        self.advance(now);
+        // Completion events are scheduled at the microsecond *after* the true
+        // completion instant (ceil), so attained has met the threshold up to
+        // f64 rounding noise; the epsilon absorbs that noise.
+        let eps = 1e-9 + self.attained.abs() * 1e-12;
+        let mut done = Vec::new();
+        while let Some((&key, &job)) = self.jobs.iter().next() {
+            if key.threshold() <= self.attained + eps {
+                self.jobs.remove(&key);
+                self.index.remove(&job);
+                done.push(job);
+            } else {
+                break;
+            }
+        }
+        done
+    }
+
+    /// Number of jobs currently in service.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if no jobs are in service.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Remaining work across all jobs, in work-units, as of `now`.
+    pub fn backlog(&mut self, now: SimTime) -> f64 {
+        self.advance(now);
+        self.jobs
+            .keys()
+            .map(|k| (k.threshold() - self.attained).max(0.0))
+            .sum()
+    }
+
+    /// Integral of cores occupied by job progress, in core-seconds, as of
+    /// `now`. Stop-the-world freezes contribute nothing here; the server
+    /// model accounts GC CPU burn separately.
+    pub fn busy_core_seconds(&mut self, now: SimTime) -> f64 {
+        self.advance(now);
+        self.busy_core_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn single_job_completes_at_demand_over_speed() {
+        let mut ps = PsIntegrator::new(200.0, 1);
+        ps.insert(SimTime::ZERO, JobId(1), 100.0);
+        assert_eq!(ps.next_completion(SimTime::ZERO), Some(t(500)));
+        assert_eq!(ps.pop_due(t(500)), vec![JobId(1)]);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn equal_jobs_share_one_core_and_finish_together() {
+        let mut ps = PsIntegrator::new(100.0, 1);
+        ps.insert(SimTime::ZERO, JobId(1), 50.0);
+        ps.insert(SimTime::ZERO, JobId(2), 50.0);
+        assert_eq!(ps.next_completion(SimTime::ZERO), Some(t(1000)));
+        let done = ps.pop_due(t(1000));
+        assert_eq!(done, vec![JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn jobs_below_core_count_run_at_full_speed() {
+        let mut ps = PsIntegrator::new(100.0, 4);
+        for i in 0..4 {
+            ps.insert(SimTime::ZERO, JobId(i), 100.0);
+        }
+        // Four cores, four jobs: no sharing, all done at 1 s.
+        assert_eq!(ps.next_completion(SimTime::ZERO), Some(t(1000)));
+        assert_eq!(ps.pop_due(t(1000)).len(), 4);
+    }
+
+    #[test]
+    fn late_arrival_slows_everyone() {
+        let mut ps = PsIntegrator::new(100.0, 1);
+        ps.insert(SimTime::ZERO, JobId(1), 100.0);
+        // After 0.5 s job 1 has attained 50 units.
+        ps.insert(t(500), JobId(2), 100.0);
+        // Both now progress at 50 u/s; job 1 needs 50 more -> 1 s.
+        assert_eq!(ps.next_completion(t(500)), Some(t(1500)));
+        assert_eq!(ps.pop_due(t(1500)), vec![JobId(1)]);
+        // Job 2 alone again, 50 units left at 100 u/s.
+        assert_eq!(ps.next_completion(t(1500)), Some(t(2000)));
+        assert_eq!(ps.pop_due(t(2000)), vec![JobId(2)]);
+    }
+
+    #[test]
+    fn freeze_halts_progress() {
+        let mut ps = PsIntegrator::new(100.0, 1);
+        ps.insert(SimTime::ZERO, JobId(1), 100.0);
+        ps.set_frozen(t(200), true);
+        assert_eq!(ps.next_completion(t(300)), None);
+        ps.set_frozen(t(700), false);
+        // 20 units attained before freeze, 80 to go at 100 u/s -> 0.8 s more.
+        assert_eq!(ps.next_completion(t(700)), Some(t(1500)));
+    }
+
+    #[test]
+    fn speed_change_rescales_remaining_time() {
+        let mut ps = PsIntegrator::new(100.0, 1);
+        ps.insert(SimTime::ZERO, JobId(1), 100.0);
+        ps.set_speed(t(500), 50.0); // half clock after 50 units attained
+        assert_eq!(ps.next_completion(t(500)), Some(t(1500)));
+    }
+
+    #[test]
+    fn remove_returns_remaining_work() {
+        let mut ps = PsIntegrator::new(100.0, 1);
+        ps.insert(SimTime::ZERO, JobId(1), 100.0);
+        let rem = ps.remove(t(300), JobId(1)).unwrap();
+        assert!((rem - 70.0).abs() < 1e-9, "remaining was {rem}");
+        assert_eq!(ps.remove(t(300), JobId(1)), None);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn backlog_tracks_total_outstanding_work() {
+        let mut ps = PsIntegrator::new(100.0, 2);
+        ps.insert(SimTime::ZERO, JobId(1), 30.0);
+        ps.insert(SimTime::ZERO, JobId(2), 70.0);
+        assert!((ps.backlog(SimTime::ZERO) - 100.0).abs() < 1e-9);
+        // Both on own cores at 100 u/s; after 0.1 s: 10 units each attained.
+        assert!((ps.backlog(t(100)) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_core_seconds_integrates_occupancy() {
+        let mut ps = PsIntegrator::new(100.0, 2);
+        ps.insert(SimTime::ZERO, JobId(1), 100.0); // 1 core busy
+        ps.insert(t(500), JobId(2), 100.0); // 2 cores busy
+        // At t=1.0: job1 done (attained 100 at t=1.0).
+        let busy = ps.busy_core_seconds(t(1000));
+        assert!((busy - 1.5).abs() < 1e-9, "busy was {busy}");
+    }
+
+    #[test]
+    fn completion_order_is_fifo_for_equal_thresholds() {
+        let mut ps = PsIntegrator::new(100.0, 1);
+        for i in 0..10 {
+            ps.insert(SimTime::ZERO, JobId(i), 10.0);
+        }
+        let when = ps.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(ps.pop_due(when), (0..10).map(JobId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn conservation_of_work_under_many_events() {
+        // Work in == work out, regardless of interleaving.
+        let mut ps = PsIntegrator::new(123.0, 3);
+        let mut inserted = 0.0;
+        let mut now = SimTime::ZERO;
+        for i in 0..100u64 {
+            now += SimDuration::from_micros(i * 137 % 5000);
+            let demand = 1.0 + (i as f64 * 7.3) % 20.0;
+            inserted += demand;
+            ps.insert(now, JobId(i), demand);
+            if i % 3 == 0 {
+                if let Some(due) = ps.next_completion(now) {
+                    now = due;
+                    ps.pop_due(now);
+                }
+            }
+        }
+        // Drain.
+        while let Some(due) = ps.next_completion(now) {
+            now = due;
+            ps.pop_due(now);
+        }
+        assert!(ps.is_empty());
+        let attained_total = ps.busy_core_seconds(now) * 123.0;
+        // Attained core-work must equal inserted demand (within scheduling
+        // roundup of 1 us per completion event).
+        assert!(
+            (attained_total - inserted).abs() < inserted * 1e-3 + 1.0,
+            "in={inserted} out={attained_total}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_insert_panics() {
+        let mut ps = PsIntegrator::new(1.0, 1);
+        ps.insert(SimTime::ZERO, JobId(1), 1.0);
+        ps.insert(SimTime::ZERO, JobId(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_demand_panics() {
+        let mut ps = PsIntegrator::new(1.0, 1);
+        ps.insert(SimTime::ZERO, JobId(1), 0.0);
+    }
+}

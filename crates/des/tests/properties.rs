@@ -1,0 +1,143 @@
+//! Property-based tests for the DES kernel invariants.
+
+use fgbd_des::{Dice, EventQueue, JobId, PsIntegrator, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, FIFO within a tick.
+    #[test]
+    fn queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated within a tick");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// The PS integrator conserves work: every admitted job completes after
+    /// attaining exactly its demand (within event-grid roundup).
+    #[test]
+    fn ps_conserves_work(
+        demands in prop::collection::vec(0.1f64..50.0, 1..60),
+        gaps in prop::collection::vec(0u64..20_000, 1..60),
+        speed in 10.0f64..5_000.0,
+        cores in 1u32..8,
+    ) {
+        let mut ps = PsIntegrator::new(speed, cores);
+        let mut now = SimTime::ZERO;
+        let mut inserted = 0.0;
+        let mut completed = 0;
+        let n = demands.len().min(gaps.len());
+        for i in 0..n {
+            let arrive = now + SimDuration::from_micros(gaps[i]);
+            // Drain completions that fall before the next arrival, exactly as
+            // the event loop would.
+            while let Some(due) = ps.next_completion(now) {
+                if due > arrive {
+                    break;
+                }
+                now = due;
+                completed += ps.pop_due(now).len();
+            }
+            now = arrive;
+            ps.insert(now, JobId(i as u64), demands[i]);
+            inserted += demands[i];
+        }
+        while let Some(due) = ps.next_completion(now) {
+            prop_assert!(due >= now);
+            now = due;
+            completed += ps.pop_due(now).len();
+        }
+        prop_assert_eq!(completed, n);
+        prop_assert!(ps.is_empty());
+        let out = ps.busy_core_seconds(now) * speed;
+        // Each completion event rounds up by <= 1 us; bound total slack.
+        let slack = n as f64 * speed * 1e-6 * cores as f64 + 1e-6 * inserted + 1e-9;
+        prop_assert!((out - inserted).abs() <= slack + inserted * 1e-9,
+            "in={} out={} slack={}", inserted, out, slack);
+    }
+
+    /// A job's sojourn time in PS is never shorter than demand/speed (its
+    /// isolated running time) no matter what else happens.
+    #[test]
+    fn ps_sojourn_lower_bound(
+        demands in prop::collection::vec(1.0f64..20.0, 2..30),
+        speed in 100.0f64..2_000.0,
+    ) {
+        let mut ps = PsIntegrator::new(speed, 1);
+        let mut now = SimTime::ZERO;
+        for (i, &d) in demands.iter().enumerate() {
+            ps.insert(now, JobId(i as u64), d);
+        }
+        let mut finish = vec![SimTime::ZERO; demands.len()];
+        while let Some(due) = ps.next_completion(now) {
+            now = due;
+            for j in ps.pop_due(now) {
+                finish[j.0 as usize] = now;
+            }
+        }
+        for (i, &d) in demands.iter().enumerate() {
+            let sojourn = finish[i].as_secs_f64();
+            prop_assert!(sojourn + 2e-6 >= d / speed,
+                "job {} finished faster than isolated time", i);
+        }
+    }
+
+    /// Removing a job and re-inserting its remaining work preserves the
+    /// final completion time (up to event-grid rounding).
+    #[test]
+    fn ps_remove_reinsert_equivalence(demand in 5.0f64..100.0, cut_ms in 1u64..40) {
+        let speed = 100.0;
+        // Run A: uninterrupted.
+        let mut a = PsIntegrator::new(speed, 1);
+        a.insert(SimTime::ZERO, JobId(1), demand);
+        let fin_a = a.next_completion(SimTime::ZERO).unwrap();
+
+        // Run B: remove at cut, re-insert immediately with remaining work.
+        let cut = SimTime::from_millis(cut_ms);
+        let mut b = PsIntegrator::new(speed, 1);
+        b.insert(SimTime::ZERO, JobId(1), demand);
+        if cut < fin_a {
+            let rem = b.remove(cut, JobId(1)).unwrap();
+            prop_assert!(rem > 0.0);
+            b.insert(cut, JobId(2), rem);
+            let fin_b = b.next_completion(cut).unwrap();
+            let diff = fin_b.as_secs_f64() - fin_a.as_secs_f64();
+            prop_assert!(diff.abs() < 5e-6, "diff {}", diff);
+        }
+    }
+
+    /// Dice::weighted never returns an index with zero weight.
+    #[test]
+    fn weighted_never_picks_zero(seed in 0u64..1_000, pattern in prop::collection::vec(prop::bool::ANY, 1..10)) {
+        prop_assume!(pattern.iter().any(|&b| b));
+        let weights: Vec<f64> = pattern.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let mut d = Dice::seed(seed);
+        for _ in 0..50 {
+            let i = d.weighted(&weights);
+            prop_assert!(pattern[i]);
+        }
+    }
+
+    /// Exponential and bounded-Pareto samples respect their supports.
+    #[test]
+    fn variates_in_support(seed in 0u64..1_000) {
+        let mut d = Dice::seed(seed);
+        for _ in 0..100 {
+            prop_assert!(d.exp(2.0) >= 0.0);
+            let p = d.bounded_pareto(1.5, 2.0, 10.0);
+            prop_assert!((2.0..=10.0).contains(&p));
+            let u = d.uniform_in(-3.0, 4.5);
+            prop_assert!((-3.0..4.5).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Bucketed histograms for response-time distributions (the long-tail,
+//! bi-modal Fig 2(c)) and general summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over explicit bucket edges, with an implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram whose buckets are `[edges[i], edges[i+1])` plus a final
+    /// `>= edges.last()` overflow bucket; values below `edges[0]` land in
+    /// the underflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `edges` has at least two strictly increasing values.
+    pub fn with_edges(edges: Vec<f64>) -> Histogram {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must strictly increase"
+        );
+        let n = edges.len();
+        Histogram {
+            edges,
+            counts: vec![0; n],
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Evenly spaced buckets across `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `buckets == 0`.
+    pub fn linear(lo: f64, hi: f64, buckets: usize) -> Histogram {
+        assert!(lo < hi && buckets > 0, "bad linear histogram spec");
+        let w = (hi - lo) / buckets as f64;
+        Histogram::with_edges((0..=buckets).map(|i| lo + w * i as f64).collect())
+    }
+
+    /// Logarithmically spaced buckets across `[lo, hi)` — the natural scale
+    /// for a response-time spectrum spanning "2 to 3 orders of magnitude"
+    /// (paper §I).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `buckets > 0`.
+    pub fn log(lo: f64, hi: f64, buckets: usize) -> Histogram {
+        assert!(lo > 0.0 && lo < hi && buckets > 0, "bad log histogram spec");
+        let r = (hi / lo).powf(1.0 / buckets as f64);
+        Histogram::with_edges((0..=buckets).map(|i| lo * r.powi(i as i32)).collect())
+    }
+
+    /// The bucket edges of the paper's Fig 2(c): response-time seconds
+    /// 0.1, 0.5, 1.0, 1.5, …, 4.0 with a `> 4 s` overflow bucket.
+    pub fn fig2c_edges() -> Histogram {
+        Histogram::with_edges(vec![0.0, 0.1, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0])
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: f64) {
+        self.total += 1;
+        if v < self.edges[0] {
+            self.underflow += 1;
+            return;
+        }
+        // Last real bucket edge opens the overflow bucket.
+        let i = match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&v).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let last = self.counts.len() - 1;
+        self.counts[i.min(last)] += 1;
+    }
+
+    /// Records many values.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// `(lower edge, upper edge, count)` triples; the final bucket's upper
+    /// edge is `f64::INFINITY`.
+    pub fn buckets(&self) -> Vec<(f64, f64, u64)> {
+        (0..self.counts.len())
+            .map(|i| {
+                let hi = self.edges.get(i + 1).copied().unwrap_or(f64::INFINITY);
+                (self.edges[i], hi, self.counts[i])
+            })
+            .collect()
+    }
+
+    /// Values below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of values at or above `threshold` (threshold must be an
+    /// edge for an exact answer; otherwise the containing bucket is
+    /// included whole).
+    pub fn frac_at_least(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let above: u64 = self
+            .buckets()
+            .iter()
+            .filter(|&&(lo, _, _)| lo >= threshold)
+            .map(|&(_, _, c)| c)
+            .sum();
+        above as f64 / self.total as f64
+    }
+
+    /// Number of distinct local maxima among bucket counts — a crude
+    /// modality check used to verify Fig 2(c)'s bi-modal shape.
+    pub fn modes(&self) -> usize {
+        let c = &self.counts;
+        (0..c.len())
+            .filter(|&i| {
+                c[i] > 0
+                    && (i == 0 || c[i - 1] < c[i])
+                    && (i + 1 == c.len() || c[i + 1] <= c[i])
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_right_buckets() {
+        let mut h = Histogram::with_edges(vec![0.0, 1.0, 2.0]);
+        h.record_all([0.5, 1.5, 2.5, 99.0, -1.0]);
+        let b = h.buckets();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0], (0.0, 1.0, 1));
+        assert_eq!(b[1], (1.0, 2.0, 1));
+        assert_eq!(b[2], (2.0, f64::INFINITY, 2));
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn exact_edge_goes_to_upper_bucket() {
+        let mut h = Histogram::with_edges(vec![0.0, 1.0, 2.0]);
+        h.record(1.0);
+        assert_eq!(h.buckets()[1].2, 1);
+    }
+
+    #[test]
+    fn linear_and_log_edges() {
+        let lin = Histogram::linear(0.0, 10.0, 5);
+        assert_eq!(lin.buckets().len(), 6);
+        assert_eq!(lin.buckets()[0].0, 0.0);
+        let lg = Histogram::log(0.001, 10.0, 4);
+        let b = lg.buckets();
+        // Log-spaced: constant ratio 10 between edges.
+        assert!((b[1].0 / b[0].0 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig2c_frac_over_two_seconds() {
+        let mut h = Histogram::fig2c_edges();
+        h.record_all([0.05, 0.2, 0.3, 1.2, 2.5, 3.6, 4.5, 5.0]);
+        // 4 of 8 values are >= 2 s.
+        assert!((h.frac_at_least(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimodal_distribution_has_two_modes() {
+        let mut h = Histogram::fig2c_edges();
+        // Mode near 0.1-0.5 and a second near >4 (TCP retransmissions).
+        for _ in 0..1_000 {
+            h.record(0.2);
+        }
+        for _ in 0..200 {
+            h.record(4.6);
+        }
+        assert_eq!(h.modes(), 2);
+        // A unimodal pile has one mode.
+        let mut u = Histogram::fig2c_edges();
+        u.record_all([0.2, 0.2, 0.3, 0.2]);
+        assert_eq!(u.modes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn bad_edges_panic() {
+        Histogram::with_edges(vec![0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Service-level-agreement accounting (paper §II-B).
+//!
+//! The paper motivates transient-bottleneck detection with strict
+//! e-commerce SLAs: "experiments at Amazon show that every 100 ms increase
+//! in the page load decreases sales by 1%" (its reference \[12\], Kohavi &
+//! Longbotham). This module evaluates response-time samples against an SLA
+//! and applies that revenue heuristic.
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded-response-time SLA: at least `target_fraction` of requests must
+/// complete within `threshold_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaPolicy {
+    /// Response-time bound, seconds.
+    pub threshold_s: f64,
+    /// Required fraction of requests within the bound, in `(0, 1]`.
+    pub target_fraction: f64,
+}
+
+impl SlaPolicy {
+    /// A strict web-facing SLA: 95% of requests within 2 s (the threshold
+    /// Fig 2(b) tracks).
+    pub fn strict_2s() -> SlaPolicy {
+        SlaPolicy {
+            threshold_s: 2.0,
+            target_fraction: 0.95,
+        }
+    }
+
+    /// Evaluates the policy over response-time samples (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is malformed (non-positive threshold, target
+    /// outside `(0, 1]`).
+    pub fn evaluate(&self, response_times_s: &[f64]) -> SlaOutcome {
+        assert!(self.threshold_s > 0.0, "threshold must be positive");
+        assert!(
+            self.target_fraction > 0.0 && self.target_fraction <= 1.0,
+            "target must be in (0,1]"
+        );
+        let total = response_times_s.len();
+        let within = response_times_s
+            .iter()
+            .filter(|&&rt| rt <= self.threshold_s)
+            .count();
+        let achieved = if total == 0 {
+            1.0
+        } else {
+            within as f64 / total as f64
+        };
+        SlaOutcome {
+            achieved_fraction: achieved,
+            violated: achieved < self.target_fraction,
+            total,
+            violations: total - within,
+        }
+    }
+}
+
+/// The result of evaluating an [`SlaPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlaOutcome {
+    /// Fraction of requests within the bound.
+    pub achieved_fraction: f64,
+    /// `true` if the policy's target was missed.
+    pub violated: bool,
+    /// Total requests evaluated.
+    pub total: usize,
+    /// Requests exceeding the bound.
+    pub violations: usize,
+}
+
+/// The Kohavi–Longbotham revenue heuristic: each 100 ms of additional mean
+/// page latency costs ~1% of sales. Returns the estimated *fractional*
+/// revenue loss of `mean_rt_s` relative to `baseline_rt_s` (zero when
+/// latency improved).
+///
+/// # Panics
+///
+/// Panics if either latency is negative.
+pub fn revenue_loss_fraction(baseline_rt_s: f64, mean_rt_s: f64) -> f64 {
+    assert!(
+        baseline_rt_s >= 0.0 && mean_rt_s >= 0.0,
+        "latencies must be non-negative"
+    );
+    let extra_ms = (mean_rt_s - baseline_rt_s).max(0.0) * 1e3;
+    (extra_ms / 100.0 * 0.01).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_counts_violations() {
+        let policy = SlaPolicy {
+            threshold_s: 1.0,
+            target_fraction: 0.9,
+        };
+        let out = policy.evaluate(&[0.1, 0.2, 0.5, 1.5, 3.0]);
+        assert_eq!(out.total, 5);
+        assert_eq!(out.violations, 2);
+        assert!((out.achieved_fraction - 0.6).abs() < 1e-12);
+        assert!(out.violated);
+    }
+
+    #[test]
+    fn passing_workload_is_not_violated() {
+        let policy = SlaPolicy::strict_2s();
+        let rts = vec![0.05; 100];
+        let out = policy.evaluate(&rts);
+        assert!(!out.violated);
+        assert_eq!(out.violations, 0);
+        assert_eq!(out.achieved_fraction, 1.0);
+    }
+
+    #[test]
+    fn empty_sample_passes_vacuously() {
+        let out = SlaPolicy::strict_2s().evaluate(&[]);
+        assert!(!out.violated);
+        assert_eq!(out.total, 0);
+    }
+
+    #[test]
+    fn boundary_value_is_within_sla() {
+        let policy = SlaPolicy {
+            threshold_s: 2.0,
+            target_fraction: 1.0,
+        };
+        let out = policy.evaluate(&[2.0]);
+        assert_eq!(out.violations, 0);
+    }
+
+    #[test]
+    fn revenue_heuristic_matches_paper_citation() {
+        // +100 ms -> 1% loss.
+        assert!((revenue_loss_fraction(0.1, 0.2) - 0.01).abs() < 1e-12);
+        // +1 s -> 10%.
+        assert!((revenue_loss_fraction(0.5, 1.5) - 0.10).abs() < 1e-12);
+        // Improvements cost nothing; losses cap at 100%.
+        assert_eq!(revenue_loss_fraction(1.0, 0.5), 0.0);
+        assert_eq!(revenue_loss_fraction(0.0, 50.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn revenue_heuristic_rejects_negative() {
+        revenue_loss_fraction(-1.0, 0.5);
+    }
+}

@@ -1,0 +1,102 @@
+//! Small time-series utilities used across the harness: smoothing,
+//! downsampling, and rate derivation from cumulative counters.
+
+/// Centered moving average with the given half-width; edges use the
+/// available neighbourhood. NaN inputs are skipped (an all-NaN
+/// neighbourhood yields NaN).
+pub fn moving_average(xs: &[f64], half_width: usize) -> Vec<f64> {
+    (0..xs.len())
+        .map(|i| {
+            let a = i.saturating_sub(half_width);
+            let b = (i + half_width + 1).min(xs.len());
+            let window: Vec<f64> = xs[a..b].iter().copied().filter(|v| v.is_finite()).collect();
+            if window.is_empty() {
+                f64::NAN
+            } else {
+                window.iter().sum::<f64>() / window.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Downsamples by averaging consecutive groups of `k`; a trailing partial
+/// group is averaged over its actual size.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn downsample_mean(xs: &[f64], k: usize) -> Vec<f64> {
+    assert!(k > 0, "group size must be positive");
+    xs.chunks(k)
+        .map(|c| {
+            let vals: Vec<f64> = c.iter().copied().filter(|v| v.is_finite()).collect();
+            if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Derives per-step rates from a cumulative counter:
+/// `rates[i] = cumulative[i+1] - cumulative[i]`, clamped at zero (counters
+/// are monotone; tiny negative diffs are float noise).
+pub fn diff_rates(cumulative: &[f64]) -> Vec<f64> {
+    cumulative
+        .windows(2)
+        .map(|w| (w[1] - w[0]).max(0.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_smooths_and_handles_edges() {
+        let xs = [0.0, 0.0, 10.0, 0.0, 0.0];
+        let sm = moving_average(&xs, 1);
+        assert_eq!(sm.len(), 5);
+        assert!((sm[2] - 10.0 / 3.0).abs() < 1e-12);
+        assert!((sm[0] - 0.0).abs() < 1e-12);
+        // Width 0 is the identity.
+        assert_eq!(moving_average(&xs, 0), xs.to_vec());
+    }
+
+    #[test]
+    fn moving_average_skips_nan() {
+        let xs = [1.0, f64::NAN, 3.0];
+        let sm = moving_average(&xs, 1);
+        assert!((sm[1] - 2.0).abs() < 1e-12);
+        let all_nan = moving_average(&[f64::NAN, f64::NAN], 0);
+        assert!(all_nan.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn downsample_means_groups() {
+        let xs = [1.0, 3.0, 5.0, 7.0, 9.0];
+        let d = downsample_mean(&xs, 2);
+        assert_eq!(d.len(), 3);
+        assert!((d[0] - 2.0).abs() < 1e-12);
+        assert!((d[1] - 6.0).abs() < 1e-12);
+        assert!((d[2] - 9.0).abs() < 1e-12); // partial tail group
+    }
+
+    #[test]
+    fn diff_rates_clamps_noise() {
+        let cum = [0.0, 1.0, 3.0, 2.999_999_9, 5.0];
+        let r = diff_rates(&cum);
+        assert_eq!(r.len(), 4);
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        assert!((r[1] - 2.0).abs() < 1e-12);
+        assert_eq!(r[2], 0.0); // clamped
+        assert!(r[3] > 1.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn downsample_rejects_zero_group() {
+        downsample_mean(&[1.0], 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! DVFS / Intel SpeedStep model (paper §IV-C, Table II).
+//!
+//! The paper's second case study: the Dell BIOS-level SpeedStep ("demand
+//! based switching") governor adjusts the CPU P-state from coarse-grained
+//! utilization observations. It is too slow for bursty workloads: by the
+//! time it scales up, a queue has already formed — a transient bottleneck.
+//! With SpeedStep enabled, MySQL's congested intervals show one throughput
+//! plateau per P-state visited (Fig 12); disabling SpeedStep pins P0 and
+//! leaves a single plateau (Fig 13).
+//!
+//! The governor here is a hysteresis ladder, the shape of BIOS-level
+//! "demand based switching": every control period it measures utilization;
+//! at or above `up_threshold` it climbs **one P-state**, below
+//! `down_threshold` it descends one, and in between it holds. Scaling from
+//! P8 to P0 through a congestion episode therefore takes several control
+//! periods — the sluggishness the paper blames — and the power-greedy
+//! descent drops the clock on every quiet window, re-creating the mismatch
+//! as soon as the next burst arrives.
+
+use fgbd_des::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One ACPI P-state: a named clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PState {
+    /// ACPI name, e.g. `"P0"`.
+    pub name: &'static str,
+    /// Core clock in MHz (= megacycles per second).
+    pub mhz: f64,
+}
+
+/// The P-states of the paper's Xeon CPUs (Table II), fastest first.
+pub const XEON_PSTATES: [PState; 5] = [
+    PState {
+        name: "P0",
+        mhz: 2261.0,
+    },
+    PState {
+        name: "P1",
+        mhz: 2128.0,
+    },
+    PState {
+        name: "P4",
+        mhz: 1729.0,
+    },
+    PState {
+        name: "P5",
+        mhz: 1596.0,
+    },
+    PState {
+        name: "P8",
+        mhz: 1197.0,
+    },
+];
+
+/// Governor parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsConfig {
+    /// How often the BIOS algorithm re-evaluates (its sluggishness).
+    pub control_period: SimDuration,
+    /// Utilization at or above this climbs one P-state.
+    pub up_threshold: f64,
+    /// Utilization below this descends one P-state; between the two
+    /// thresholds the governor holds.
+    pub down_threshold: f64,
+    /// P-state index at boot (into [`XEON_PSTATES`]), typically the slowest.
+    pub start_index: usize,
+}
+
+impl DvfsConfig {
+    /// The Dell BIOS demand-based-switching model used in the experiments:
+    /// a 200 ms control period — slow against the 50 ms bursts it must
+    /// follow — and one rung per period on the way up, so scaling P8 -> P0
+    /// through a congestion episode takes ~0.8 s.
+    pub fn dell_bios() -> DvfsConfig {
+        DvfsConfig {
+            control_period: SimDuration::from_millis(200),
+            up_threshold: 0.97,
+            down_threshold: 0.90,
+            start_index: XEON_PSTATES.len() - 1,
+        }
+    }
+}
+
+/// One governor decision, logged for Fig 12's plateau attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PStateSample {
+    /// Index of the server whose governor decided.
+    pub server: usize,
+    /// Decision time (end of the control window).
+    pub at: SimTime,
+    /// Utilization observed over the window just ended.
+    pub util: f64,
+    /// P-state index selected for the next window.
+    pub pstate: usize,
+    /// Clock of the selected P-state, MHz.
+    pub mhz: f64,
+}
+
+/// Live governor state for one server.
+#[derive(Debug, Clone)]
+pub struct DvfsState {
+    /// Parameters.
+    pub config: DvfsConfig,
+    /// Current P-state index into [`XEON_PSTATES`].
+    pub index: usize,
+    /// `busy_core_seconds` reading at the start of the current window.
+    pub window_busy_start: f64,
+    /// Time the current window started.
+    pub window_start: SimTime,
+}
+
+impl DvfsState {
+    /// Fresh governor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.start_index` is out of range.
+    pub fn new(config: DvfsConfig) -> DvfsState {
+        assert!(config.start_index < XEON_PSTATES.len(), "bad start index");
+        DvfsState {
+            config,
+            index: config.start_index,
+            window_busy_start: 0.0,
+            window_start: SimTime::ZERO,
+        }
+    }
+
+    /// Current clock in MHz.
+    pub fn mhz(&self) -> f64 {
+        XEON_PSTATES[self.index].mhz
+    }
+
+    /// Runs one governor decision at `now`. `busy_core_seconds` is the
+    /// server's cumulative busy integral; `cores` its core count. Returns
+    /// the new P-state index (which may equal the old one) and the window
+    /// utilization it was based on.
+    pub fn tick(&mut self, now: SimTime, busy_core_seconds: f64, cores: u32) -> (usize, f64) {
+        let dt = now.saturating_since(self.window_start).as_secs_f64();
+        let util = if dt > 0.0 {
+            ((busy_core_seconds - self.window_busy_start) / (f64::from(cores) * dt))
+                .clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self.window_busy_start = busy_core_seconds;
+        self.window_start = now;
+        self.index = self.decide(util);
+        (self.index, util)
+    }
+
+    /// The decision rule, separated for direct testing: one rung up on
+    /// saturation, one rung down on a quiet window, hold in the hysteresis
+    /// band.
+    pub fn decide(&self, util: f64) -> usize {
+        if util >= self.config.up_threshold {
+            self.index.saturating_sub(1)
+        } else if util < self.config.down_threshold {
+            (self.index + 1).min(XEON_PSTATES.len() - 1)
+        } else {
+            self.index
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_clocks() {
+        assert_eq!(XEON_PSTATES[0].mhz, 2261.0);
+        assert_eq!(XEON_PSTATES[4].mhz, 1197.0);
+        assert_eq!(XEON_PSTATES[4].name, "P8");
+        // Fastest first, strictly decreasing.
+        for w in XEON_PSTATES.windows(2) {
+            assert!(w[0].mhz > w[1].mhz);
+        }
+    }
+
+    #[test]
+    fn high_util_climbs_one_state_per_tick() {
+        let mut st = DvfsState::new(DvfsConfig::dell_bios());
+        assert_eq!(st.index, 4); // boots at P8
+        let (idx, util) = st.tick(SimTime::from_millis(200), 0.198, 1);
+        assert!((util - 0.99).abs() < 1e-12);
+        assert_eq!(idx, 3); // one rung up the ladder: P8 -> P5
+        assert_eq!(st.mhz(), 1596.0);
+        // Sustained saturation reaches P0 only after several periods.
+        for step in [2usize, 1, 0, 0] {
+            let busy = st.window_busy_start + 0.2;
+            let (idx, _) = st.tick(st.window_start + SimDuration::from_millis(200), busy, 1);
+            assert_eq!(idx, step);
+        }
+        assert_eq!(st.mhz(), 2261.0);
+        // And quiet windows walk it back down one rung at a time.
+        for step in [1usize, 2, 3, 4, 4] {
+            let busy = st.window_busy_start + 0.05; // util 0.25
+            let (idx, _) = st.tick(st.window_start + SimDuration::from_millis(200), busy, 1);
+            assert_eq!(idx, step);
+        }
+    }
+
+    #[test]
+    fn low_util_descends_one_rung() {
+        let cfg = DvfsConfig::dell_bios();
+        let mut st = DvfsState::new(cfg);
+        st.index = 0; // at P0
+        assert_eq!(st.decide(0.40), 1); // one rung toward power saving
+        st.index = 1;
+        assert_eq!(st.decide(0.40), 2);
+        st.index = 4; // already slowest
+        assert_eq!(st.decide(0.10), 4);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_current_state() {
+        let cfg = DvfsConfig::dell_bios();
+        let mut st = DvfsState::new(cfg);
+        st.index = 3; // P5
+        assert_eq!(st.decide(0.91), 3);
+        assert_eq!(st.decide(0.95), 3);
+        assert_eq!(st.decide(0.89), 4); // just under the band: descend
+        assert_eq!(st.decide(0.97), 2); // at the top: climb
+    }
+
+    #[test]
+    fn tick_computes_window_utilization() {
+        let mut st = DvfsState::new(DvfsConfig::dell_bios());
+        st.window_busy_start = 1.0;
+        st.window_start = SimTime::from_secs(1);
+        // 0.1 busy core-seconds over 0.2 s on 1 core = util 0.5.
+        let (idx, util) = st.tick(SimTime::from_millis(1200), 1.1, 1);
+        assert!((util - 0.5).abs() < 1e-9);
+        // Quiet window at P8: already the slowest state, stays.
+        assert_eq!(idx, 4);
+        assert_eq!(st.window_busy_start, 1.1);
+        assert_eq!(st.window_start, SimTime::from_millis(1200));
+    }
+
+    #[test]
+    fn util_is_clamped() {
+        let mut st = DvfsState::new(DvfsConfig::dell_bios());
+        // Pathological busy > wall time must not panic or overshoot.
+        let (idx, util) = st.tick(SimTime::from_millis(200), 99.0, 1);
+        assert_eq!(util, 1.0);
+        assert_eq!(idx, 3); // one rung up from P8
+    }
+}

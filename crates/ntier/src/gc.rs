@@ -1,0 +1,396 @@
+//! JVM garbage-collection model (paper §IV-A).
+//!
+//! The paper's first case study: Tomcat on **JDK 1.5** uses a serial,
+//! stop-the-world collector; under high request rates it freezes the server
+//! for long enough (tens to hundreds of milliseconds) to create transient
+//! bottlenecks — intervals with high load and *zero* throughput, the "POIs"
+//! of Fig 9(b). Upgrading to **JDK 1.6** (parallel/concurrent collectors)
+//! removes the long freezes (Fig 11).
+//!
+//! The model is allocation-driven: every admitted request allocates a fixed
+//! amount of young-generation heap; when the young generation fills, a
+//! collection starts:
+//!
+//! * [`Collector::SerialStopTheWorld`] — the whole server freezes for a
+//!   pause whose length grows with the heap collected (log-normal noise).
+//! * [`Collector::ConcurrentMarkSweep`] — a short stop-the-world pause, then
+//!   a concurrent cycle that steals a fraction of CPU capacity.
+
+use fgbd_des::{Dice, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which collector the server's JVM uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Collector {
+    /// JDK 1.5 default: serial, stop-the-world.
+    SerialStopTheWorld,
+    /// JDK 1.6: mostly-concurrent collection with short pauses.
+    ConcurrentMarkSweep,
+}
+
+/// GC model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcConfig {
+    /// Collector kind.
+    pub collector: Collector,
+    /// Young-generation size that triggers a collection, in MB.
+    pub young_gen_mb: f64,
+    /// Heap allocated per admitted request, in MB.
+    pub alloc_per_request_mb: f64,
+    /// Stop-the-world pause: base component, seconds.
+    pub pause_base_s: f64,
+    /// Stop-the-world pause: per live (in-flight) request, seconds — GC
+    /// cost scales with the live object graph, so pauses lengthen exactly
+    /// when the server is busiest.
+    pub pause_per_live_s: f64,
+    /// Upper bound on the mean stop-the-world pause (the live set cannot
+    /// exceed the heap), seconds.
+    pub pause_max_s: f64,
+    /// Log-normal coefficient of variation of pause lengths.
+    pub pause_cv: f64,
+    /// Concurrent collector: stop-the-world pause length, seconds.
+    pub concurrent_pause_s: f64,
+    /// Concurrent collector: fraction of CPU consumed by the background
+    /// cycle.
+    pub concurrent_tax: f64,
+    /// Concurrent collector: background cycle length, seconds.
+    pub concurrent_cycle_s: f64,
+}
+
+impl GcConfig {
+    /// JDK 1.5 model calibrated for the paper's Tomcat: at ~700 pages/s per
+    /// node a collection fires roughly every 1.1 s and freezes the JVM for
+    /// ~150 ms on average — several consecutive zero-throughput 50 ms
+    /// intervals, the POI signature of Fig 9(b).
+    pub fn jdk15_serial() -> GcConfig {
+        GcConfig {
+            collector: Collector::SerialStopTheWorld,
+            young_gen_mb: 620.0,
+            alloc_per_request_mb: 0.5,
+            pause_base_s: 0.020,
+            pause_per_live_s: 0.003,
+            pause_max_s: 0.250,
+            pause_cv: 0.35,
+            concurrent_pause_s: 0.0,
+            concurrent_tax: 0.0,
+            concurrent_cycle_s: 0.0,
+        }
+    }
+
+    /// JDK 1.6 model: same allocation behaviour, but collections cost a
+    /// ~4 ms pause plus a 200 ms background cycle at 10% CPU — too short and
+    /// too shallow to register as 50 ms-scale bottlenecks (Fig 11a).
+    pub fn jdk16_concurrent() -> GcConfig {
+        GcConfig {
+            collector: Collector::ConcurrentMarkSweep,
+            young_gen_mb: 620.0,
+            alloc_per_request_mb: 0.5,
+            pause_base_s: 0.0,
+            pause_per_live_s: 0.0,
+            pause_max_s: 0.220,
+            pause_cv: 0.25,
+            concurrent_pause_s: 0.004,
+            concurrent_tax: 0.10,
+            concurrent_cycle_s: 0.200,
+        }
+    }
+}
+
+/// Phase of an in-progress collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcPhase {
+    /// No collection in progress.
+    Idle,
+    /// Stop-the-world: all request progress frozen.
+    StopTheWorld,
+    /// Concurrent background cycle: progress continues at reduced speed.
+    ConcurrentCycle,
+}
+
+/// One completed collection, for the GC log the paper correlates with load
+/// in Fig 10(a). ("JVM provides a logging function which records the
+/// starting and ending timestamp of every GC activity.")
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcEvent {
+    /// Index of the server that collected.
+    pub server: usize,
+    /// When the collection began.
+    pub start: SimTime,
+    /// When the stop-the-world portion ended.
+    pub stw_end: SimTime,
+    /// When the collection fully ended (== `stw_end` for serial).
+    pub end: SimTime,
+    /// Heap MB collected.
+    pub collected_mb: f64,
+}
+
+impl GcEvent {
+    /// Seconds of stop-the-world overlap with the window `[from, to)` —
+    /// the "GC running ratio" numerator of Fig 10(a).
+    pub fn stw_overlap(&self, from: SimTime, to: SimTime) -> f64 {
+        let s = self.start.max(from);
+        let e = self.stw_end.min(to);
+        if e > s {
+            (e - s).as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Live GC state for one server.
+#[derive(Debug, Clone)]
+pub struct GcState {
+    /// Model parameters.
+    pub config: GcConfig,
+    /// Current young-generation occupancy, MB.
+    pub heap_mb: f64,
+    /// Current phase.
+    pub phase: GcPhase,
+    /// Start time of the current collection (valid unless idle).
+    pub started: SimTime,
+    /// Heap being collected by the in-progress collection.
+    pub collecting_mb: f64,
+}
+
+impl GcState {
+    /// Fresh state with an empty young generation.
+    pub fn new(config: GcConfig) -> GcState {
+        GcState {
+            config,
+            heap_mb: 0.0,
+            phase: GcPhase::Idle,
+            started: SimTime::ZERO,
+            collecting_mb: 0.0,
+        }
+    }
+
+    /// Records one admitted request's allocation; returns `true` if this
+    /// allocation filled the young generation and a collection must start.
+    pub fn allocate(&mut self) -> bool {
+        self.heap_mb += self.config.alloc_per_request_mb;
+        self.phase == GcPhase::Idle && self.heap_mb >= self.config.young_gen_mb
+    }
+
+    /// Begins a collection at `now`; `live_requests` is the number of
+    /// in-flight requests (the live-set proxy). Returns the stop-the-world
+    /// pause duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a collection is already in progress.
+    pub fn begin(&mut self, now: SimTime, live_requests: usize, dice: &mut Dice) -> SimDuration {
+        assert!(self.phase == GcPhase::Idle, "collection already running");
+        self.started = now;
+        self.collecting_mb = self.heap_mb;
+        self.heap_mb = 0.0;
+        self.phase = GcPhase::StopTheWorld;
+        let mean = match self.config.collector {
+            Collector::SerialStopTheWorld => (self.config.pause_base_s
+                + self.config.pause_per_live_s * live_requests as f64)
+                .min(self.config.pause_max_s),
+            Collector::ConcurrentMarkSweep => self.config.concurrent_pause_s,
+        };
+        let secs = if mean > 0.0 {
+            dice.lognormal_mean_cv(mean, self.config.pause_cv)
+        } else {
+            0.0
+        };
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Ends the stop-the-world pause. For the concurrent collector, returns
+    /// the background-cycle duration still to run; for serial, returns
+    /// `None` (collection complete).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless a stop-the-world pause is in progress.
+    pub fn end_pause(&mut self) -> Option<SimDuration> {
+        assert!(self.phase == GcPhase::StopTheWorld, "no pause in progress");
+        match self.config.collector {
+            Collector::SerialStopTheWorld => {
+                self.phase = GcPhase::Idle;
+                None
+            }
+            Collector::ConcurrentMarkSweep => {
+                self.phase = GcPhase::ConcurrentCycle;
+                Some(SimDuration::from_secs_f64(self.config.concurrent_cycle_s))
+            }
+        }
+    }
+
+    /// Ends the concurrent background cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless a concurrent cycle is in progress.
+    pub fn end_cycle(&mut self) {
+        assert!(
+            self.phase == GcPhase::ConcurrentCycle,
+            "no concurrent cycle in progress"
+        );
+        self.phase = GcPhase::Idle;
+    }
+}
+
+/// Computes the per-interval stop-the-world GC running ratio for a server —
+/// the y-axis of Fig 10(a).
+///
+/// Returns one ratio in `[0,1]` per interval of length `interval` covering
+/// `[from, to)`.
+pub fn gc_running_ratio(
+    events: &[GcEvent],
+    server: usize,
+    from: SimTime,
+    to: SimTime,
+    interval: SimDuration,
+) -> Vec<f64> {
+    assert!(!interval.is_zero(), "interval must be positive");
+    let n = ((to - from).as_micros()).div_ceil(interval.as_micros()) as usize;
+    let mut out = vec![0.0; n];
+    let ilen = interval.as_secs_f64();
+    for ev in events.iter().filter(|e| e.server == server) {
+        if ev.stw_end <= from || ev.start >= to {
+            continue;
+        }
+        let first = (ev.start.max(from) - from).as_micros() / interval.as_micros();
+        let last = ((ev.stw_end.min(to) - from).as_micros().saturating_sub(1))
+            / interval.as_micros();
+        for (i, slot) in out
+            .iter_mut()
+            .enumerate()
+            .take((last as usize + 1).min(n))
+            .skip(first as usize)
+        {
+            let w_from = from + interval * i as u64;
+            let w_to = w_from + interval;
+            *slot += ev.stw_overlap(w_from, w_to) / ilen;
+        }
+    }
+    for r in &mut out {
+        *r = r.min(1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_triggers_at_young_gen_size() {
+        let mut st = GcState::new(GcConfig {
+            young_gen_mb: 1.0,
+            alloc_per_request_mb: 0.4,
+            ..GcConfig::jdk15_serial()
+        });
+        assert!(!st.allocate()); // 0.4
+        assert!(!st.allocate()); // 0.8
+        assert!(st.allocate()); // 1.2 -> trigger
+    }
+
+    #[test]
+    fn pause_scales_with_live_set() {
+        let mut dice = Dice::seed(9);
+        let mut short = 0.0;
+        let mut long = 0.0;
+        for _ in 0..50 {
+            let mut a = GcState::new(GcConfig::jdk15_serial());
+            a.heap_mb = 620.0;
+            short += a.begin(SimTime::ZERO, 8, &mut dice).as_secs_f64();
+            let mut b = GcState::new(GcConfig::jdk15_serial());
+            b.heap_mb = 620.0;
+            long += b.begin(SimTime::ZERO, 80, &mut dice).as_secs_f64();
+        }
+        // 30+20 ms vs 30+200 ms on average.
+        assert!(long > short * 2.5, "short {short} long {long}");
+    }
+
+    #[test]
+    fn serial_collection_freezes_then_idles() {
+        let mut st = GcState::new(GcConfig::jdk15_serial());
+        st.heap_mb = 620.0;
+        let mut dice = Dice::seed(1);
+        let pause = st.begin(SimTime::ZERO, 40, &mut dice);
+        assert!(st.phase == GcPhase::StopTheWorld);
+        // ~30ms base + 100ms live component, lognormal noise.
+        assert!(pause >= SimDuration::from_millis(40), "pause {pause}");
+        assert!(pause <= SimDuration::from_millis(600), "pause {pause}");
+        assert_eq!(st.end_pause(), None);
+        assert!(st.phase == GcPhase::Idle);
+        assert_eq!(st.heap_mb, 0.0);
+    }
+
+    #[test]
+    fn concurrent_collection_has_short_pause_and_cycle() {
+        let mut st = GcState::new(GcConfig::jdk16_concurrent());
+        st.heap_mb = 620.0;
+        let mut dice = Dice::seed(2);
+        let pause = st.begin(SimTime::ZERO, 200, &mut dice);
+        assert!(pause <= SimDuration::from_millis(15), "pause {pause}");
+        let cycle = st.end_pause().expect("concurrent cycle expected");
+        assert_eq!(cycle, SimDuration::from_millis(200));
+        assert!(st.phase == GcPhase::ConcurrentCycle);
+        st.end_cycle();
+        assert!(st.phase == GcPhase::Idle);
+    }
+
+    #[test]
+    fn allocation_does_not_retrigger_during_collection() {
+        let mut st = GcState::new(GcConfig {
+            young_gen_mb: 0.5,
+            ..GcConfig::jdk15_serial()
+        });
+        st.heap_mb = 0.6;
+        let mut dice = Dice::seed(3);
+        st.begin(SimTime::ZERO, 10, &mut dice);
+        assert!(!st.allocate(), "must not trigger while collecting");
+    }
+
+    #[test]
+    fn stw_overlap_clips_to_window() {
+        let ev = GcEvent {
+            server: 0,
+            start: SimTime::from_millis(100),
+            stw_end: SimTime::from_millis(250),
+            end: SimTime::from_millis(250),
+            collected_mb: 10.0,
+        };
+        let o = ev.stw_overlap(SimTime::from_millis(200), SimTime::from_millis(300));
+        assert!((o - 0.050).abs() < 1e-12);
+        assert_eq!(ev.stw_overlap(SimTime::from_millis(300), SimTime::from_millis(400)), 0.0);
+    }
+
+    #[test]
+    fn running_ratio_covers_intervals() {
+        let events = vec![GcEvent {
+            server: 1,
+            start: SimTime::from_millis(75),
+            stw_end: SimTime::from_millis(175),
+            end: SimTime::from_millis(175),
+            collected_mb: 5.0,
+        }];
+        let r = gc_running_ratio(
+            &events,
+            1,
+            SimTime::ZERO,
+            SimTime::from_millis(200),
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(r.len(), 4);
+        assert!((r[0] - 0.0).abs() < 1e-12);
+        assert!((r[1] - 0.5).abs() < 1e-12); // 75..100 of 50..100
+        assert!((r[2] - 1.0).abs() < 1e-12); // fully covered
+        assert!((r[3] - 0.5).abs() < 1e-12); // 150..175
+        // Other servers see nothing.
+        let r0 = gc_running_ratio(
+            &events,
+            0,
+            SimTime::ZERO,
+            SimTime::from_millis(200),
+            SimDuration::from_millis(50),
+        );
+        assert!(r0.iter().all(|&x| x == 0.0));
+    }
+}

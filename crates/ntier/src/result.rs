@@ -1,0 +1,164 @@
+//! Run outputs: everything the analysis and experiment harness consume.
+
+use fgbd_des::{SimDuration, SimTime};
+use fgbd_trace::{NodeId, TraceLog};
+use serde::{Deserialize, Serialize};
+
+use crate::dvfs::PStateSample;
+use crate::gc::GcEvent;
+
+/// One completed client transaction, as the workload generator saw it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnSample {
+    /// Emulated user index.
+    pub user: u32,
+    /// Request class.
+    pub class: u16,
+    /// When the user first attempted the request (including refused
+    /// connection attempts).
+    pub started: SimTime,
+    /// When the response reached the user.
+    pub finished: SimTime,
+    /// TCP connection attempts that were refused and retransmitted.
+    pub retries: u32,
+}
+
+impl TxnSample {
+    /// End-to-end response time.
+    pub fn response_time(&self) -> SimDuration {
+        self.finished - self.started
+    }
+}
+
+/// Static description of one simulated server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerInfo {
+    /// Display name.
+    pub name: String,
+    /// Tier index.
+    pub tier: usize,
+    /// Trace node id.
+    pub node: NodeId,
+    /// Pinned cores.
+    pub cores: u32,
+    /// Worker-thread limit.
+    pub max_threads: usize,
+}
+
+/// Cumulative CPU-busy reading for one server at one sample instant —
+/// the raw material for both the coarse "sysstat" view (Fig 3, Table I) and
+/// the governor's utilization windows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuSample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Cumulative busy core-seconds (monotone non-decreasing).
+    pub busy_core_seconds: f64,
+}
+
+/// Everything produced by one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Per-server static info, in node order.
+    pub servers: Vec<ServerInfo>,
+    /// The passive network capture.
+    pub log: TraceLog,
+    /// Client-side transaction samples.
+    pub txns: Vec<TxnSample>,
+    /// JVM GC log across servers.
+    pub gc_events: Vec<GcEvent>,
+    /// DVFS governor decisions across servers.
+    pub pstate_log: Vec<PStateSample>,
+    /// Cumulative CPU-busy samples per server (aligned with `servers`).
+    pub cpu_busy: Vec<Vec<CpuSample>>,
+    /// (received, sent) payload bytes per server.
+    pub net_bytes: Vec<(u64, u64)>,
+    /// Completed request visits per server.
+    pub completed_visits: Vec<u64>,
+    /// Total refused-connection retransmissions.
+    pub retransmissions: u64,
+    /// End of the warm-up period.
+    pub warmup_end: SimTime,
+    /// End of the measured period (the run horizon).
+    pub horizon: SimTime,
+}
+
+impl RunResult {
+    /// The index (into [`RunResult::servers`]) of the server named `name`.
+    pub fn server_index(&self, name: &str) -> Option<usize> {
+        self.servers.iter().position(|s| s.name == name)
+    }
+
+    /// The trace node id of the server named `name`.
+    pub fn node_of(&self, name: &str) -> Option<NodeId> {
+        self.server_index(name).map(|i| self.servers[i].node)
+    }
+
+    /// Transactions that finished inside the measured window.
+    pub fn measured_txns(&self) -> impl Iterator<Item = &TxnSample> {
+        self.txns
+            .iter()
+            .filter(|t| t.finished >= self.warmup_end && t.finished < self.horizon)
+    }
+
+    /// Overall measured throughput in transactions per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = (self.horizon - self.warmup_end).as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.measured_txns().count() as f64 / secs
+    }
+
+    /// Mean end-to-end response time over the measured window, seconds.
+    pub fn mean_response_time(&self) -> f64 {
+        let mut n = 0u64;
+        let mut sum = 0.0;
+        for t in self.measured_txns() {
+            n += 1;
+            sum += t.response_time().as_secs_f64();
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Fraction of measured transactions with response time above
+    /// `threshold` (Fig 2b uses 2 s).
+    pub fn frac_slower_than(&self, threshold: SimDuration) -> f64 {
+        let mut n = 0u64;
+        let mut slow = 0u64;
+        for t in self.measured_txns() {
+            n += 1;
+            if t.response_time() > threshold {
+                slow += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            slow as f64 / n as f64
+        }
+    }
+
+    /// Mean CPU utilization of server `idx` over the measured window, in
+    /// `[0, 1]`, derived from the cumulative busy samples.
+    pub fn mean_cpu_util(&self, idx: usize) -> f64 {
+        let samples = &self.cpu_busy[idx];
+        let cores = f64::from(self.servers[idx].cores);
+        let in_window: Vec<&CpuSample> = samples
+            .iter()
+            .filter(|s| s.at >= self.warmup_end && s.at <= self.horizon)
+            .collect();
+        let (Some(first), Some(last)) = (in_window.first(), in_window.last()) else {
+            return 0.0;
+        };
+        let dt = (last.at - first.at).as_secs_f64();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        ((last.busy_core_seconds - first.busy_core_seconds) / (cores * dt)).clamp(0.0, 1.0)
+    }
+}

@@ -1,0 +1,1054 @@
+//! The n-tier system simulator: a single [`Actor`] holding every server,
+//! client, and transient-event model.
+//!
+//! Mechanics reproduced from the paper's testbed:
+//!
+//! * Multi-core **processor-sharing** servers with finite worker-thread
+//!   pools; a thread is held for the whole visit, including while blocked on
+//!   synchronous downstream calls — the push-back path that propagates
+//!   transient congestion upstream.
+//! * **Admission**: the web tier has a finite listen backlog; when threads
+//!   and backlog are full, the connection is refused and the client
+//!   retransmits after 3 s (footnote 1 of the paper — the source of the >3 s
+//!   hump in the bi-modal response-time distribution of Fig 2c).
+//! * **JVM GC** freezes (app tier) and the **SpeedStep governor** (db tier)
+//!   from [`crate::gc`] / [`crate::dvfs`].
+//! * A **passive tap** records every interaction message with microsecond
+//!   timestamps into a [`TraceLog`]; requests are stamped on arrival at the
+//!   destination, responses on departure from the source, so span residence
+//!   equals true server residence.
+
+use std::collections::{HashMap, VecDeque};
+
+use fgbd_des::{
+    Actor, Dice, JobId, PsIntegrator, Scheduler, SimDuration, SimTime, Simulation,
+};
+use fgbd_trace::{
+    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, TraceLog, TxnId,
+};
+
+use crate::class::RequestClass;
+use crate::config::SystemConfig;
+use crate::dvfs::{DvfsState, PStateSample};
+use crate::gc::{GcEvent, GcState};
+use crate::result::{CpuSample, RunResult, ServerInfo, TxnSample};
+
+/// Who is waiting for a visit's response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parent {
+    /// An emulated user (the visit is a transaction root).
+    User(u32),
+    /// A visit on an upstream server, blocked on this call.
+    Visit {
+        /// Upstream server index.
+        server: usize,
+        /// Upstream visit id.
+        visit: u64,
+    },
+}
+
+/// The payload of a request message in flight.
+#[derive(Debug, Clone, Copy)]
+pub struct NewRequest {
+    txn: u64,
+    class: u16,
+    parent: Parent,
+    conn: u32,
+}
+
+/// One step of a visit's lifecycle at a server.
+#[derive(Debug, Clone, Copy)]
+enum Segment {
+    /// CPU work, in megacycles.
+    Cpu(f64),
+    /// Non-CPU wait (I/O, row fetch): the thread is held but no core is
+    /// used.
+    Wait(SimDuration),
+    /// A synchronous call to the next tier.
+    Call,
+}
+
+#[derive(Debug)]
+struct Visit {
+    txn: u64,
+    class: u16,
+    parent: Parent,
+    conn: u32,
+    segs: Vec<Segment>,
+    seg: usize,
+}
+
+/// Tier roles used to pick demands from a [`RequestClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Web,
+    App,
+    Middleware,
+    Db,
+}
+
+fn role_of(tier: usize, tiers: usize) -> Role {
+    if tier + 1 == tiers {
+        Role::Db
+    } else if tier == 0 {
+        Role::Web
+    } else if tier == 1 {
+        Role::App
+    } else {
+        Role::Middleware
+    }
+}
+
+#[derive(Debug, Default)]
+struct ConnPool {
+    base: u32,
+    free: Vec<u32>,
+    next: u32,
+}
+
+impl ConnPool {
+    fn alloc(&mut self) -> u32 {
+        self.free.pop().unwrap_or_else(|| {
+            let c = self.base + self.next;
+            self.next += 1;
+            c
+        })
+    }
+
+    fn release(&mut self, conn: u32) {
+        debug_assert!(conn >= self.base && conn < self.base + self.next);
+        self.free.push(conn);
+    }
+}
+
+struct Server {
+    name: String,
+    tier: usize,
+    node: NodeId,
+    cores: u32,
+    base_mhz: f64,
+    monitor_overhead: f64,
+    max_threads: usize,
+    backlog: usize,
+    ps: PsIntegrator,
+    threads_busy: usize,
+    pending: VecDeque<u64>,
+    visits: HashMap<u64, Visit>,
+    cpu_gen: u64,
+    gc: Option<GcState>,
+    gc_stw_end: SimTime,
+    /// Completed GC CPU burn, core-seconds.
+    gc_busy_full: f64,
+    /// In-progress GC phase: (start, cpu fraction).
+    gc_active: Option<(SimTime, f64)>,
+    dvfs: Option<DvfsState>,
+    rr: usize,
+    rx_bytes: u64,
+    tx_bytes: u64,
+    completed: u64,
+    dice: Dice,
+}
+
+impl Server {
+    fn effective_mhz(&self) -> f64 {
+        let clock = self.dvfs.as_ref().map_or(self.base_mhz, DvfsState::mhz);
+        let gc_tax = match (&self.gc, self.gc_active) {
+            (Some(gc), Some((_, frac))) if frac < 1.0 => gc.config.concurrent_tax,
+            _ => 0.0,
+        };
+        // A sampling daemon steals a fixed fraction of one core.
+        let monitor_tax = self.monitor_overhead / f64::from(self.cores);
+        clock * (1.0 - gc_tax) * (1.0 - monitor_tax)
+    }
+
+    /// Cumulative busy core-seconds (request progress + GC burn) as of
+    /// `now`.
+    fn busy_core_seconds(&mut self, now: SimTime) -> f64 {
+        let mut busy = self.ps.busy_core_seconds(now) + self.gc_busy_full;
+        if let Some((start, frac)) = self.gc_active {
+            busy += f64::from(self.cores) * frac * now.saturating_since(start).as_secs_f64();
+        }
+        busy
+    }
+
+    fn has_thread_capacity(&self) -> bool {
+        self.threads_busy < self.max_threads
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct UserState {
+    txn: u64,
+    class: u16,
+    started: SimTime,
+    retries: u32,
+}
+
+/// Events of the n-tier system.
+#[derive(Debug, Clone, Copy)]
+pub enum Ev {
+    /// Kick-off: schedules initial thinks, governor ticks and samplers.
+    Boot,
+    /// A user's think timer expired (subject to burst thinning).
+    Think(u32),
+    /// A refused connection's retransmission timer expired.
+    Retry(u32),
+    /// A request message reached a server.
+    Arrive {
+        /// Destination server index.
+        server: usize,
+        /// Message payload.
+        req: NewRequest,
+    },
+    /// A response message reached the upstream visit waiting on it.
+    RespArrive {
+        /// Upstream server index.
+        server: usize,
+        /// Upstream visit id.
+        visit: u64,
+        /// Connection-pool index of the link the call used.
+        link: u32,
+        /// Connection to return to that pool.
+        conn: u32,
+    },
+    /// A response reached the client.
+    ClientResp(u32),
+    /// Processor-sharing completion check (stale unless `gen` matches).
+    CpuDone {
+        /// Server index.
+        server: usize,
+        /// Generation stamp.
+        gen: u64,
+    },
+    /// A non-CPU wait segment finished.
+    WaitDone {
+        /// Server index.
+        server: usize,
+        /// Visit id.
+        visit: u64,
+    },
+    /// End of a stop-the-world GC pause.
+    GcPauseEnd(usize),
+    /// End of a concurrent GC background cycle.
+    GcCycleEnd(usize),
+    /// DVFS governor control-period tick.
+    GovTick(usize),
+    /// CPU-busy sampler tick.
+    CpuSample,
+    /// Burst-modulator state flip.
+    BurstToggle,
+}
+
+/// The complete simulated system.
+pub struct NTierSystem {
+    cfg: SystemConfig,
+    servers: Vec<Server>,
+    tiers: Vec<Vec<usize>>,
+    node_to_server: HashMap<NodeId, usize>,
+    users: Vec<UserState>,
+    conn_pools: Vec<ConnPool>,
+    link_index: HashMap<(usize, usize), usize>,
+    burst_factor: f64,
+    next_txn: u64,
+    next_visit: u64,
+    log: TraceLog,
+    txns: Vec<TxnSample>,
+    gc_events: Vec<GcEvent>,
+    pstate_log: Vec<PStateSample>,
+    cpu_busy: Vec<Vec<CpuSample>>,
+    retransmissions: u64,
+    workload_dice: Dice,
+    burst_dice: Dice,
+    class_weights: Vec<f64>,
+}
+
+const CLIENT_NODE: NodeId = NodeId(0);
+const POOL_CONN_BASE: u32 = 1 << 20;
+/// Sentinel class for users who have not issued any interaction yet.
+const NO_CLASS: u16 = u16::MAX;
+
+impl NTierSystem {
+    /// Builds the system from a validated configuration.
+    pub fn new(cfg: SystemConfig) -> NTierSystem {
+        cfg.validate();
+        let mut root = Dice::seed(cfg.seed);
+        let workload_dice = root.fork(1);
+        let burst_dice = root.fork(2);
+
+        let mut servers = Vec::new();
+        let mut tiers = Vec::new();
+        let mut nodes = vec![NodeMeta {
+            id: CLIENT_NODE,
+            name: "clients".to_string(),
+            kind: NodeKind::Client,
+            tier: None,
+        }];
+        let mut node_to_server = HashMap::new();
+        for tier_specs in &cfg.topology {
+            let mut tier_idx = Vec::new();
+            for spec in tier_specs {
+                let idx = servers.len();
+                let node = NodeId((idx + 1) as u16);
+                nodes.push(NodeMeta {
+                    id: node,
+                    name: spec.name.clone(),
+                    kind: NodeKind::Server,
+                    tier: Some(spec.tier as u8),
+                });
+                node_to_server.insert(node, idx);
+                servers.push(Server {
+                    name: spec.name.clone(),
+                    tier: spec.tier,
+                    node,
+                    cores: spec.cores,
+                    base_mhz: spec.base_mhz,
+                    monitor_overhead: spec.monitor_overhead,
+                    max_threads: spec.max_threads,
+                    backlog: spec.backlog,
+                    ps: PsIntegrator::new(
+                        spec.dvfs
+                            .map_or(spec.base_mhz, |d| crate::dvfs::XEON_PSTATES[d.start_index].mhz)
+                            * (1.0 - spec.monitor_overhead / f64::from(spec.cores)),
+                        spec.cores,
+                    ),
+                    threads_busy: 0,
+                    pending: VecDeque::new(),
+                    visits: HashMap::new(),
+                    cpu_gen: 0,
+                    gc: spec.gc.map(GcState::new),
+                    gc_stw_end: SimTime::ZERO,
+                    gc_busy_full: 0.0,
+                    gc_active: None,
+                    dvfs: spec.dvfs.map(DvfsState::new),
+                    rr: 0,
+                    rx_bytes: 0,
+                    tx_bytes: 0,
+                    completed: 0,
+                    dice: root.fork(100 + idx as u64),
+                });
+                tier_idx.push(idx);
+            }
+            tiers.push(tier_idx);
+        }
+
+        // Connection pools for every directed (server, next-tier server)
+        // pair.
+        let mut conn_pools = Vec::new();
+        let mut link_index = HashMap::new();
+        for t in 0..tiers.len().saturating_sub(1) {
+            for &s in &tiers[t] {
+                for &d in &tiers[t + 1] {
+                    let li = conn_pools.len();
+                    link_index.insert((s, d), li);
+                    conn_pools.push(ConnPool {
+                        base: POOL_CONN_BASE * (li as u32 + 1),
+                        free: Vec::new(),
+                        next: 0,
+                    });
+                }
+            }
+        }
+
+        let class_weights = cfg.mix.weights();
+        let n_servers = servers.len();
+        NTierSystem {
+            servers,
+            tiers,
+            node_to_server,
+            users: vec![
+                UserState {
+                    txn: 0,
+                    class: NO_CLASS,
+                    started: SimTime::ZERO,
+                    retries: 0,
+                };
+                cfg.users as usize
+            ],
+            conn_pools,
+            link_index,
+            burst_factor: 1.0,
+            next_txn: 0,
+            next_visit: 0,
+            log: TraceLog::new(nodes),
+            txns: Vec::new(),
+            gc_events: Vec::new(),
+            pstate_log: Vec::new(),
+            cpu_busy: vec![Vec::new(); n_servers],
+            retransmissions: 0,
+            workload_dice,
+            burst_dice,
+            class_weights,
+            cfg,
+        }
+    }
+
+    /// Runs the configured scenario to completion and returns its outputs.
+    pub fn run(cfg: SystemConfig) -> RunResult {
+        let horizon = SimTime::ZERO + cfg.warmup + cfg.duration;
+        let mut sim = Simulation::new(NTierSystem::new(cfg));
+        sim.prime(SimTime::ZERO, Ev::Boot);
+        sim.run_until(horizon);
+        sim.into_actor().into_result(horizon)
+    }
+
+    /// Finalizes the run outputs.
+    pub fn into_result(self, horizon: SimTime) -> RunResult {
+        RunResult {
+            servers: self
+                .servers
+                .iter()
+                .map(|s| ServerInfo {
+                    name: s.name.clone(),
+                    tier: s.tier,
+                    node: s.node,
+                    cores: s.cores,
+                    max_threads: s.max_threads,
+                })
+                .collect(),
+            log: self.log,
+            txns: self.txns,
+            gc_events: self.gc_events,
+            pstate_log: self.pstate_log,
+            cpu_busy: self.cpu_busy,
+            net_bytes: self
+                .servers
+                .iter()
+                .map(|s| (s.rx_bytes, s.tx_bytes))
+                .collect(),
+            completed_visits: self.servers.iter().map(|s| s.completed).collect(),
+            retransmissions: self.retransmissions,
+            warmup_end: SimTime::ZERO + self.cfg.warmup,
+            horizon,
+        }
+    }
+
+    fn think_delay(&mut self) -> SimDuration {
+        let mean = self.cfg.think_time.as_secs_f64();
+        let env = if self.cfg.burst.enabled {
+            mean / self.cfg.burst.factor_max
+        } else {
+            mean
+        };
+        SimDuration::from_secs_f64(self.workload_dice.exp(env))
+    }
+
+    fn sample_class(&mut self, user: u32) -> u16 {
+        // Sticky sessions: repeating the previous class with probability p
+        // (and redrawing from the mix otherwise) keeps the stationary class
+        // distribution identical to the mix weights.
+        let p = self.cfg.session_stickiness;
+        if p > 0.0 && self.workload_dice.chance(p) {
+            let prev = self.users[user as usize].class;
+            // NO_CLASS marks a user with no previous interaction.
+            if prev != NO_CLASS && self.class_weights[usize::from(prev)] > 0.0 {
+                return prev;
+            }
+        }
+        self.workload_dice.weighted(&self.class_weights) as u16
+    }
+
+    fn sample_segments(&mut self, now: SimTime, server: usize, class_id: u16) -> Vec<Segment> {
+        let tiers = self.tiers.len();
+        let tier = self.servers[server].tier;
+        // Service-time drift (paper §III-B): demands grow linearly with
+        // simulated time, e.g. from shifting data selectivity.
+        let drift = 1.0 + self.cfg.demand_drift_per_hour * (now.as_secs_f64() / 3_600.0);
+        let class: &RequestClass = self.cfg.mix.class(class_id);
+        let (web_mc, app_mc, mw_mc, db_mc, queries, db_wait_s, cv) = (
+            class.web_demand_mc,
+            class.app_demand_mc,
+            class.mw_demand_mc,
+            class.db_demand_mc,
+            class.queries,
+            class.db_wait_s,
+            class.demand_cv,
+        );
+        let dice = &mut self.servers[server].dice;
+        let mut sample = |mean: f64| dice.lognormal_mean_cv((mean * drift).max(1e-6), cv);
+        match role_of(tier, tiers) {
+            Role::Web => {
+                let d = sample(web_mc);
+                vec![Segment::Cpu(d / 2.0), Segment::Call, Segment::Cpu(d / 2.0)]
+            }
+            Role::App => {
+                let d = sample(app_mc);
+                let q = queries;
+                if q == 0 {
+                    vec![Segment::Cpu(d)]
+                } else {
+                    let slice = d / f64::from(q + 1);
+                    let mut segs = Vec::with_capacity(2 * q as usize + 1);
+                    segs.push(Segment::Cpu(slice));
+                    for _ in 0..q {
+                        segs.push(Segment::Call);
+                        segs.push(Segment::Cpu(slice));
+                    }
+                    segs
+                }
+            }
+            Role::Middleware => {
+                let d = sample(mw_mc);
+                vec![Segment::Cpu(d / 2.0), Segment::Call, Segment::Cpu(d / 2.0)]
+            }
+            Role::Db => {
+                let d = sample(db_mc);
+                let wait = if db_wait_s > 0.0 {
+                    SimDuration::from_secs_f64(sample(db_wait_s))
+                } else {
+                    SimDuration::ZERO
+                };
+                if wait.is_zero() {
+                    vec![Segment::Cpu(d)]
+                } else {
+                    vec![
+                        Segment::Cpu(d / 2.0),
+                        Segment::Wait(wait),
+                        Segment::Cpu(d / 2.0),
+                    ]
+                }
+            }
+        }
+    }
+
+    fn parent_node(&self, parent: Parent) -> NodeId {
+        match parent {
+            Parent::User(_) => CLIENT_NODE,
+            Parent::Visit { server, .. } => self.servers[server].node,
+        }
+    }
+
+    fn request_bytes(&self, dst_tier: usize) -> u32 {
+        let s = &self.cfg.sizes;
+        match role_of(dst_tier, self.tiers.len()) {
+            Role::Web => s.web_req,
+            Role::App => s.app_req,
+            Role::Middleware => s.mw_req,
+            Role::Db => s.db_req,
+        }
+    }
+
+    fn response_bytes(&self, src_tier: usize) -> u32 {
+        let s = &self.cfg.sizes;
+        match role_of(src_tier, self.tiers.len()) {
+            Role::Web => s.web_resp,
+            Role::App => s.app_resp,
+            Role::Middleware => s.mw_resp,
+            Role::Db => s.db_resp,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_msg(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        kind: MsgKind,
+        conn: u32,
+        class: u16,
+        bytes: u32,
+        txn: u64,
+    ) {
+        if let Some(&s) = self.node_to_server.get(&src) {
+            self.servers[s].tx_bytes += u64::from(bytes);
+        }
+        if let Some(&d) = self.node_to_server.get(&dst) {
+            self.servers[d].rx_bytes += u64::from(bytes);
+        }
+        if self.cfg.capture {
+            self.log.push(MsgRecord {
+                at,
+                src,
+                dst,
+                kind,
+                conn: ConnId(conn),
+                class: ClassId(class),
+                bytes,
+                truth: Some(TxnId(txn)),
+            });
+        }
+    }
+
+    fn reschedule_cpu(&mut self, now: SimTime, server: usize, sched: &mut Scheduler<Ev>) {
+        let s = &mut self.servers[server];
+        s.cpu_gen += 1;
+        if let Some(t) = s.ps.next_completion(now) {
+            sched.at(t, Ev::CpuDone {
+                server,
+                gen: s.cpu_gen,
+            });
+        }
+    }
+
+    /// Enters the current segment of a visit (CPU, wait, or downstream
+    /// call).
+    fn enter_segment(&mut self, now: SimTime, server: usize, visit: u64, sched: &mut Scheduler<Ev>) {
+        let (seg, txn, class) = {
+            let v = &self.servers[server].visits[&visit];
+            (v.segs[v.seg], v.txn, v.class)
+        };
+        match seg {
+            Segment::Cpu(mc) => {
+                self.servers[server].ps.insert(now, JobId(visit), mc);
+            }
+            Segment::Wait(d) => {
+                sched.after(d, Ev::WaitDone { server, visit });
+            }
+            Segment::Call => {
+                let tier = self.servers[server].tier;
+                let next_tier = &self.tiers[tier + 1];
+                let target = next_tier[self.servers[server].rr % next_tier.len()];
+                self.servers[server].rr += 1;
+                let li = self.link_index[&(server, target)];
+                let conn = self.conn_pools[li].alloc();
+                let req = NewRequest {
+                    txn,
+                    class,
+                    parent: Parent::Visit { server, visit },
+                    conn,
+                };
+                sched.after(self.cfg.net_latency, Ev::Arrive {
+                    server: target,
+                    req,
+                });
+            }
+        }
+    }
+
+    /// Moves a visit past its just-finished segment.
+    fn advance_visit(&mut self, now: SimTime, server: usize, visit: u64, sched: &mut Scheduler<Ev>) {
+        let more = {
+            let v = self.servers[server]
+                .visits
+                .get_mut(&visit)
+                .expect("advance on unknown visit");
+            v.seg += 1;
+            v.seg < v.segs.len()
+        };
+        if more {
+            self.enter_segment(now, server, visit, sched);
+        } else {
+            self.complete_visit(now, server, visit, sched);
+        }
+    }
+
+    fn complete_visit(&mut self, now: SimTime, server: usize, visit: u64, sched: &mut Scheduler<Ev>) {
+        let v = self.servers[server]
+            .visits
+            .remove(&visit)
+            .expect("complete on unknown visit");
+        self.servers[server].threads_busy -= 1;
+        self.servers[server].completed += 1;
+        let src = self.servers[server].node;
+        let dst = self.parent_node(v.parent);
+        let bytes = self.response_bytes(self.servers[server].tier);
+        self.record_msg(now, src, dst, MsgKind::Response, v.conn, v.class, bytes, v.txn);
+        match v.parent {
+            Parent::User(u) => {
+                sched.after(self.cfg.net_latency, Ev::ClientResp(u));
+            }
+            Parent::Visit {
+                server: ps,
+                visit: pv,
+            } => {
+                let li = self.link_index[&(ps, server)];
+                sched.after(self.cfg.net_latency, Ev::RespArrive {
+                    server: ps,
+                    visit: pv,
+                    link: li as u32,
+                    conn: v.conn,
+                });
+            }
+        }
+        // Admit from the accept queue.
+        while self.servers[server].has_thread_capacity() {
+            let Some(next) = self.servers[server].pending.pop_front() else {
+                break;
+            };
+            self.servers[server].threads_busy += 1;
+            self.enter_segment(now, server, next, sched);
+        }
+    }
+
+    /// Handles a request message reaching `server`; returns `false` if the
+    /// connection was refused (web-tier admission control).
+    fn arrive(&mut self, now: SimTime, server: usize, req: NewRequest, sched: &mut Scheduler<Ev>) {
+        let is_root = matches!(req.parent, Parent::User(_));
+        {
+            let s = &self.servers[server];
+            if is_root && !s.has_thread_capacity() && s.pending.len() >= s.backlog {
+                // SYN refused: no request message is established; the client
+                // retransmits after the TCP timeout.
+                let Parent::User(u) = req.parent else {
+                    unreachable!()
+                };
+                self.retransmissions += 1;
+                self.users[u as usize].retries += 1;
+                sched.after(self.cfg.retrans_timeout, Ev::Retry(u));
+                return;
+            }
+        }
+        let src = self.parent_node(req.parent);
+        let dst = self.servers[server].node;
+        let bytes = self.request_bytes(self.servers[server].tier);
+        self.record_msg(now, src, dst, MsgKind::Request, req.conn, req.class, bytes, req.txn);
+
+        let visit = self.next_visit;
+        self.next_visit += 1;
+        let segs = self.sample_segments(now, server, req.class);
+        self.servers[server].visits.insert(visit, Visit {
+            txn: req.txn,
+            class: req.class,
+            parent: req.parent,
+            conn: req.conn,
+            segs,
+            seg: 0,
+        });
+
+        // JVM allocation; may trigger a collection.
+        let triggered = self.servers[server]
+            .gc
+            .as_mut()
+            .is_some_and(GcState::allocate);
+        if triggered {
+            let s = &mut self.servers[server];
+            let live = s.threads_busy + s.pending.len();
+            let pause = s
+                .gc
+                .as_mut()
+                .expect("gc vanished")
+                .begin(now, live, &mut s.dice);
+            s.ps.set_frozen(now, true);
+            s.gc_active = Some((now, 1.0));
+            sched.after(pause, Ev::GcPauseEnd(server));
+        }
+
+        if self.servers[server].has_thread_capacity() {
+            self.servers[server].threads_busy += 1;
+            self.enter_segment(now, server, visit, sched);
+        } else {
+            self.servers[server].pending.push_back(visit);
+        }
+    }
+
+    fn start_transaction(&mut self, now: SimTime, user: u32, sched: &mut Scheduler<Ev>) {
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        let class = self.sample_class(user);
+        self.users[user as usize] = UserState {
+            txn,
+            class,
+            started: now,
+            retries: 0,
+        };
+        self.send_to_web(user, sched);
+    }
+
+    fn send_to_web(&mut self, user: u32, sched: &mut Scheduler<Ev>) {
+        let st = self.users[user as usize];
+        let web_tier = &self.tiers[0];
+        let target = web_tier[(st.txn as usize) % web_tier.len()];
+        let req = NewRequest {
+            txn: st.txn,
+            class: st.class,
+            parent: Parent::User(user),
+            conn: user,
+        };
+        sched.after(self.cfg.net_latency, Ev::Arrive {
+            server: target,
+            req,
+        });
+    }
+
+    fn apply_speed(&mut self, now: SimTime, server: usize) {
+        let mhz = self.servers[server].effective_mhz();
+        self.servers[server].ps.set_speed(now, mhz);
+    }
+}
+
+impl Actor for NTierSystem {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Boot => {
+                for u in 0..self.cfg.users {
+                    let d = self.think_delay();
+                    sched.after(d, Ev::Think(u));
+                }
+                for s in 0..self.servers.len() {
+                    if let Some(d) = &self.servers[s].dvfs {
+                        sched.after(d.config.control_period, Ev::GovTick(s));
+                    }
+                }
+                sched.after(self.cfg.cpu_sample_period, Ev::CpuSample);
+                if self.cfg.burst.enabled {
+                    let d = self
+                        .burst_dice
+                        .exp_duration(self.cfg.burst.mean_normal);
+                    sched.after(d, Ev::BurstToggle);
+                }
+            }
+            Ev::Think(u) => {
+                // Lewis thinning: the timer runs at the burst-envelope rate;
+                // accept with probability factor/now-envelope.
+                if self.cfg.burst.enabled {
+                    let accept = self.burst_factor / self.cfg.burst.factor_max;
+                    if !self.workload_dice.chance(accept.min(1.0)) {
+                        let d = self.think_delay();
+                        sched.after(d, Ev::Think(u));
+                        return;
+                    }
+                }
+                self.start_transaction(now, u, sched);
+            }
+            Ev::Retry(u) => {
+                self.send_to_web(u, sched);
+            }
+            Ev::Arrive { server, req } => {
+                self.arrive(now, server, req, sched);
+                self.reschedule_cpu(now, server, sched);
+            }
+            Ev::RespArrive {
+                server,
+                visit,
+                link,
+                conn,
+            } => {
+                debug_assert!(matches!(
+                    self.servers[server].visits[&visit].segs
+                        [self.servers[server].visits[&visit].seg],
+                    Segment::Call
+                ));
+                self.conn_pools[link as usize].release(conn);
+                self.advance_visit(now, server, visit, sched);
+                self.reschedule_cpu(now, server, sched);
+            }
+            Ev::ClientResp(u) => {
+                let st = self.users[u as usize];
+                self.txns.push(TxnSample {
+                    user: u,
+                    class: st.class,
+                    started: st.started,
+                    finished: now,
+                    retries: st.retries,
+                });
+                let d = self.think_delay();
+                sched.after(d, Ev::Think(u));
+            }
+            Ev::CpuDone { server, gen } => {
+                if gen != self.servers[server].cpu_gen {
+                    return;
+                }
+                let done = self.servers[server].ps.pop_due(now);
+                for JobId(visit) in done {
+                    self.advance_visit(now, server, visit, sched);
+                }
+                self.reschedule_cpu(now, server, sched);
+            }
+            Ev::WaitDone { server, visit } => {
+                self.advance_visit(now, server, visit, sched);
+                self.reschedule_cpu(now, server, sched);
+            }
+            Ev::GcPauseEnd(server) => {
+                let (start, collected) = {
+                    let s = &mut self.servers[server];
+                    let gc = s.gc.as_mut().expect("GC pause end without GC");
+                    let start = gc.started;
+                    let collected = gc.collecting_mb;
+                    s.gc_busy_full +=
+                        f64::from(s.cores) * now.saturating_since(start).as_secs_f64();
+                    s.gc_stw_end = now;
+                    (start, collected)
+                };
+                let cycle = self.servers[server]
+                    .gc
+                    .as_mut()
+                    .expect("gc vanished")
+                    .end_pause();
+                self.servers[server].ps.set_frozen(now, false);
+                match cycle {
+                    None => {
+                        self.servers[server].gc_active = None;
+                        self.gc_events.push(GcEvent {
+                            server,
+                            start,
+                            stw_end: now,
+                            end: now,
+                            collected_mb: collected,
+                        });
+                    }
+                    Some(d) => {
+                        let tax = self.servers[server]
+                            .gc
+                            .as_ref()
+                            .expect("gc vanished")
+                            .config
+                            .concurrent_tax;
+                        self.servers[server].gc_active = Some((now, tax));
+                        sched.after(d, Ev::GcCycleEnd(server));
+                    }
+                }
+                self.apply_speed(now, server);
+                self.reschedule_cpu(now, server, sched);
+            }
+            Ev::GcCycleEnd(server) => {
+                let (start, stw_end, collected) = {
+                    let s = &mut self.servers[server];
+                    let gc = s.gc.as_mut().expect("GC cycle end without GC");
+                    let (cycle_start, frac) = s.gc_active.expect("cycle not active");
+                    s.gc_busy_full += f64::from(s.cores)
+                        * frac
+                        * now.saturating_since(cycle_start).as_secs_f64();
+                    s.gc_active = None;
+                    let out = (gc.started, s.gc_stw_end, gc.collecting_mb);
+                    gc.end_cycle();
+                    out
+                };
+                self.gc_events.push(GcEvent {
+                    server,
+                    start,
+                    stw_end,
+                    end: now,
+                    collected_mb: collected,
+                });
+                self.apply_speed(now, server);
+                self.reschedule_cpu(now, server, sched);
+            }
+            Ev::GovTick(server) => {
+                let busy = self.servers[server].busy_core_seconds(now);
+                let cores = self.servers[server].cores;
+                let Some(dvfs) = &mut self.servers[server].dvfs else {
+                    return;
+                };
+                let period = dvfs.config.control_period;
+                let before = dvfs.index;
+                let (idx, util) = dvfs.tick(now, busy, cores);
+                self.pstate_log.push(PStateSample {
+                    server,
+                    at: now,
+                    util,
+                    pstate: idx,
+                    mhz: crate::dvfs::XEON_PSTATES[idx].mhz,
+                });
+                sched.after(period, Ev::GovTick(server));
+                if idx != before {
+                    self.apply_speed(now, server);
+                    self.reschedule_cpu(now, server, sched);
+                }
+            }
+            Ev::CpuSample => {
+                for s in 0..self.servers.len() {
+                    let busy = self.servers[s].busy_core_seconds(now);
+                    self.cpu_busy[s].push(CpuSample {
+                        at: now,
+                        busy_core_seconds: busy,
+                    });
+                }
+                sched.after(self.cfg.cpu_sample_period, Ev::CpuSample);
+            }
+            Ev::BurstToggle => {
+                if self.burst_factor == 1.0 {
+                    self.burst_factor = self.burst_dice.bounded_pareto(
+                        self.cfg.burst.factor_alpha,
+                        self.cfg.burst.factor_min,
+                        self.cfg.burst.factor_max,
+                    );
+                    let d = self.burst_dice.exp_duration(self.cfg.burst.mean_burst);
+                    sched.after(d, Ev::BurstToggle);
+                } else {
+                    self.burst_factor = 1.0;
+                    let d = self.burst_dice.exp_duration(self.cfg.burst.mean_normal);
+                    sched.after(d, Ev::BurstToggle);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Jdk;
+
+    #[test]
+    fn conn_pool_reuses_released_ids() {
+        let mut pool = ConnPool {
+            base: 1 << 20,
+            free: Vec::new(),
+            next: 0,
+        };
+        let a = pool.alloc();
+        let b = pool.alloc();
+        assert_eq!(a, 1 << 20);
+        assert_eq!(b, (1 << 20) + 1);
+        pool.release(a);
+        assert_eq!(pool.alloc(), a, "released ids are reused");
+        assert_eq!(pool.alloc(), (1 << 20) + 2);
+    }
+
+    #[test]
+    fn tier_roles_for_three_and_four_tier_stacks() {
+        // 4-tier: web / app / middleware / db.
+        assert_eq!(role_of(0, 4), Role::Web);
+        assert_eq!(role_of(1, 4), Role::App);
+        assert_eq!(role_of(2, 4), Role::Middleware);
+        assert_eq!(role_of(3, 4), Role::Db);
+        // 3-tier: the middleware role disappears.
+        assert_eq!(role_of(0, 3), Role::Web);
+        assert_eq!(role_of(1, 3), Role::App);
+        assert_eq!(role_of(2, 3), Role::Db);
+        // Degenerate single tier is a leaf.
+        assert_eq!(role_of(0, 1), Role::Db);
+    }
+
+    #[test]
+    fn visit_plans_match_tier_roles() {
+        let cfg = SystemConfig::paper_1l2s1l2s(10, Jdk::Jdk16, false, 1);
+        let mut sys = NTierSystem::new(cfg);
+        // Web (server 0): pre-CPU, one call, post-CPU.
+        let web = sys.sample_segments(SimTime::ZERO, 0, 0);
+        assert_eq!(web.len(), 3);
+        assert!(matches!(web[0], Segment::Cpu(_)));
+        assert!(matches!(web[1], Segment::Call));
+        // App (server 1): q calls interleaved with q+1 CPU slices.
+        let q = sys.cfg.mix.class(0).queries as usize;
+        let app = sys.sample_segments(SimTime::ZERO, 1, 0);
+        assert_eq!(app.len(), 2 * q + 1);
+        assert_eq!(
+            app.iter().filter(|s| matches!(s, Segment::Call)).count(),
+            q
+        );
+        // Db (server 4): CPU around a non-CPU wait, no calls.
+        let db = sys.sample_segments(SimTime::ZERO, 4, 0);
+        assert!(db.iter().all(|s| !matches!(s, Segment::Call)));
+        assert!(db.iter().any(|s| matches!(s, Segment::Wait(_))));
+    }
+
+    #[test]
+    fn monitor_overhead_slows_the_clock() {
+        let cfg = SystemConfig::paper_1l2s1l2s(10, Jdk::Jdk16, false, 1)
+            .with_monitoring_overhead(0.12);
+        let sys = NTierSystem::new(cfg);
+        // Apache: 2 cores at 2261 MHz, 12% of one core stolen -> 6% slower.
+        let apache = &sys.servers[0];
+        assert!((apache.effective_mhz() - 2261.0 * 0.94).abs() < 1e-9);
+        // Tomcat: 1 core -> full 12% tax.
+        let tomcat = &sys.servers[1];
+        assert!((tomcat.effective_mhz() - 2261.0 * 0.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_factor_toggles_between_one_and_sampled() {
+        let cfg = SystemConfig::paper_1l2s1l2s(10, Jdk::Jdk16, false, 1);
+        let lo = cfg.burst.factor_min;
+        let hi = cfg.burst.factor_max;
+        let mut sim = Simulation::new(NTierSystem::new(cfg));
+        sim.prime(SimTime::ZERO, Ev::Boot);
+        sim.run_until(SimTime::from_secs(30));
+        // After 30 s the modulator has flipped several times; whatever state
+        // it is in, the factor is either 1.0 or inside the Pareto support.
+        let f = sim.actor().burst_factor;
+        assert!(f == 1.0 || (lo..=hi).contains(&f), "factor {f}");
+    }
+}

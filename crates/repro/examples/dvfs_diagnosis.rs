@@ -1,0 +1,98 @@
+//! Diagnosing DVFS (Intel SpeedStep) clock switching as the cause of
+//! transient bottlenecks (the paper's second case study, §IV-C/D).
+//!
+//! The tell-tale signature: the throughputs of *congested* intervals
+//! cluster around one plateau per CPU clock the governor visits. Pinning
+//! the top P-state collapses them to a single plateau and removes most of
+//! the congestion.
+//!
+//! ```bash
+//! cargo run -p fgbd-repro --release --example dvfs_diagnosis
+//! ```
+
+use fgbd_core::detect::DetectorConfig;
+use fgbd_core::plateau::{find_plateaus, match_levels, PlateauConfig};
+use fgbd_des::SimDuration;
+use fgbd_ntier::config::{Jdk, SystemConfig};
+use fgbd_ntier::XEON_PSTATES;
+use fgbd_repro::{Analysis, Calibration};
+
+fn analyze(speedstep: bool, label: &str) {
+    let mut cfg = SystemConfig::paper_1l2s1l2s(9_000, Jdk::Jdk16, speedstep, 13);
+    cfg.warmup = SimDuration::from_secs(5);
+    cfg.duration = SimDuration::from_secs(60);
+    let run = fgbd_ntier::system::NTierSystem::run(cfg);
+
+    let mut cal_cfg = SystemConfig::paper_1l2s1l2s(300, Jdk::Jdk16, speedstep, 13);
+    cal_cfg.warmup = SimDuration::from_secs(3);
+    cal_cfg.duration = SimDuration::from_secs(20);
+    let cal = Calibration::from_run(&fgbd_ntier::system::NTierSystem::run(cal_cfg));
+
+    let analysis = Analysis::new(run, cal);
+    let window = analysis.window(SimDuration::from_millis(50));
+    let report = analysis.report("mysql-1", window, &DetectorConfig::default());
+
+    let ms = analysis.cal.mean_service(report.server);
+    let congested: Vec<f64> = report
+        .states
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            matches!(
+                s,
+                fgbd_core::detect::IntervalState::Congested
+                    | fgbd_core::detect::IntervalState::Frozen
+            )
+        })
+        .map(|(i, _)| report.tput.equivalent_rate(i, ms))
+        .collect();
+    let plateaus = find_plateaus(&congested, &PlateauConfig::default());
+    // Candidate capacities per P-state for attribution.
+    let svc_p0 = ms.as_secs_f64();
+    let caps: Vec<f64> = XEON_PSTATES
+        .iter()
+        .map(|p| p.mhz / XEON_PSTATES[0].mhz / svc_p0)
+        .collect();
+
+    println!("{label}:");
+    println!(
+        "  MySQL congested intervals: {} / {}",
+        report.congested_intervals(),
+        report.states.len()
+    );
+    if plateaus.is_empty() {
+        println!("  no congested-throughput plateaus (too few congested intervals)");
+    } else {
+        let attribution = match_levels(&plateaus, &caps);
+        for (p, &state) in plateaus.iter().zip(&attribution) {
+            println!(
+                "  plateau at {:.0} eq-req/s ({:.0}% of congested intervals) ~ {}",
+                p.level,
+                p.share * 100.0,
+                XEON_PSTATES[state].name
+            );
+        }
+    }
+    if let Some(sample) = analysis.run.pstate_log.last() {
+        let _ = sample;
+        let states: std::collections::BTreeSet<usize> = analysis
+            .run
+            .pstate_log
+            .iter()
+            .map(|p| p.pstate)
+            .collect();
+        let names: Vec<&str> = states.iter().map(|&i| XEON_PSTATES[i].name).collect();
+        println!("  governor visited: {}", names.join(", "));
+    } else {
+        println!("  governor inactive (SpeedStep disabled, pinned at P0)");
+    }
+    println!();
+}
+
+fn main() {
+    println!("== SpeedStep enabled (BIOS demand-based switching) ==");
+    analyze(true, "with DVFS");
+    println!("== SpeedStep disabled in BIOS — the paper's fix ==");
+    analyze(false, "pinned P0");
+    println!("multiple clock-determined plateaus implicate DVFS; pinning P0 collapses them.");
+}

@@ -1,0 +1,140 @@
+//! Offline analysis of a recorded `.fgbdcap` capture — the consumer half of
+//! the workflow: reads the file, derives service times from the capture's
+//! own quietest stretch, runs the 50 ms transient-bottleneck analysis on
+//! every server, and prints the verdicts.
+//!
+//! ```bash
+//! cargo run -p fgbd-repro --release --bin analyze_capture -- capture.fgbdcap [interval_ms]
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+
+use fgbd_core::detect::{analyze_server, rank_bottlenecks, DetectorConfig};
+use fgbd_core::series::Window;
+use fgbd_des::{SimDuration, SimTime};
+use fgbd_repro::pipeline::{Calibration, WORK_UNIT_RESOLUTION};
+use fgbd_trace::{read_capture, NodeKind, SpanSet};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: analyze_capture <capture.fgbdcap> [interval_ms]");
+        std::process::exit(2);
+    };
+    let interval_ms: u64 = args
+        .get(2)
+        .map_or(Ok(50), |s| s.parse())
+        .expect("interval must be milliseconds");
+
+    let file = File::open(path).expect("open capture file");
+    let log = read_capture(BufReader::new(file)).expect("parse capture");
+    println!(
+        "capture: {} nodes, {} messages",
+        log.nodes.len(),
+        log.records.len()
+    );
+    let Some(end) = log.records.last().map(|r| r.at) else {
+        println!("empty capture — nothing to analyze");
+        return;
+    };
+    let start = log.records.first().map(|r| r.at).expect("non-empty");
+
+    // Service-time calibration from the capture itself: reconstruct and
+    // approximate with a low quantile (the offline stand-in for a dedicated
+    // low-load calibration run).
+    let run_like = fgbd_ntier::result::RunResult {
+        servers: log
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Server)
+            .map(|n| fgbd_ntier::result::ServerInfo {
+                name: n.name.clone(),
+                tier: usize::from(n.tier.unwrap_or(0)),
+                node: n.id,
+                cores: 1,
+                max_threads: 0,
+            })
+            .collect(),
+        log: log.clone(),
+        txns: Vec::new(),
+        gc_events: Vec::new(),
+        pstate_log: Vec::new(),
+        cpu_busy: Vec::new(),
+        net_bytes: Vec::new(),
+        completed_visits: Vec::new(),
+        retransmissions: 0,
+        warmup_end: start,
+        horizon: end,
+    };
+    let cal = Calibration::from_run(&run_like);
+
+    let spans = SpanSet::extract(&log);
+    let window = Window::new(
+        start,
+        end,
+        SimDuration::from_millis(interval_ms.max(1)),
+    );
+    let cfg = DetectorConfig::default();
+
+    let mut reports = Vec::new();
+    println!(
+        "\n{:<12} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "server", "spans", "N*", "congested", "frozen", "ratio%"
+    );
+    for meta in log.nodes.iter().filter(|n| n.kind == NodeKind::Server) {
+        let server_spans = spans.server(meta.id);
+        if server_spans.is_empty() {
+            continue;
+        }
+        let report = analyze_server(
+            server_spans,
+            meta.id,
+            window,
+            &cal.services,
+            cal.work_units
+                .get(&meta.id)
+                .copied()
+                .unwrap_or(WORK_UNIT_RESOLUTION),
+            &cfg,
+        );
+        println!(
+            "{:<12} {:>8} {:>10} {:>10} {:>8} {:>8.1}",
+            meta.name,
+            server_spans.len(),
+            report
+                .nstar
+                .as_ref()
+                .map_or("n/a".to_string(), |n| format!("{:.1}", n.nstar)),
+            report.congested_intervals(),
+            report.frozen_intervals(),
+            report.congestion_ratio() * 100.0
+        );
+        reports.push((meta.name.clone(), report));
+    }
+
+    let ranked = rank_bottlenecks(
+        &reports.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+    );
+    if let Some((top, ratio)) = ranked.first() {
+        let name = reports
+            .iter()
+            .find(|(_, r)| r.server == *top)
+            .map_or("?", |(n, _)| n.as_str());
+        println!(
+            "\n=> most frequently congested server: {name} ({:.1}% of active {interval_ms} ms intervals)",
+            ratio * 100.0
+        );
+        let frozen: usize = reports.iter().map(|(_, r)| r.frozen_intervals()).sum();
+        if frozen > 0 {
+            println!(
+                "   {frozen} frozen (POI) intervals across servers — look for stop-the-world events (e.g. JVM GC)"
+            );
+        }
+    }
+    let analyzed_until = SimTime::from_micros(end.as_micros());
+    println!(
+        "   analyzed window: {} .. {} at {interval_ms} ms granularity",
+        start, analyzed_until
+    );
+}

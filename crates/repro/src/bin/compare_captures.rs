@@ -1,0 +1,120 @@
+//! Compares two `.fgbdcap` captures of the same deployment — the
+//! before/after workflow of the paper's two fixes (§IV-B, §IV-D): record a
+//! capture, apply a change (JDK upgrade, BIOS setting), record again, and
+//! diff the per-server transient-bottleneck verdicts.
+//!
+//! ```bash
+//! cargo run -p fgbd-repro --release --bin compare_captures -- before.fgbdcap after.fgbdcap
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::BufReader;
+
+use fgbd_core::detect::{analyze_server, DetectorConfig, ServerReport};
+use fgbd_core::series::Window;
+use fgbd_des::SimDuration;
+use fgbd_repro::pipeline::{Calibration, WORK_UNIT_RESOLUTION};
+use fgbd_trace::{read_capture, NodeKind, SpanSet, TraceLog};
+
+fn load(path: &str) -> TraceLog {
+    let file = File::open(path).unwrap_or_else(|e| panic!("open {path}: {e}"));
+    read_capture(BufReader::new(file)).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn reports(log: &TraceLog) -> BTreeMap<String, ServerReport> {
+    let (Some(first), Some(last)) = (log.records.first(), log.records.last()) else {
+        return BTreeMap::new();
+    };
+    if last.at <= first.at + SimDuration::from_millis(50) {
+        return BTreeMap::new(); // capture too short for even one interval
+    }
+    // Calibrate from the capture itself.
+    let run_like = fgbd_ntier::result::RunResult {
+        servers: log
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Server)
+            .map(|n| fgbd_ntier::result::ServerInfo {
+                name: n.name.clone(),
+                tier: usize::from(n.tier.unwrap_or(0)),
+                node: n.id,
+                cores: 1,
+                max_threads: 0,
+            })
+            .collect(),
+        log: log.clone(),
+        txns: Vec::new(),
+        gc_events: Vec::new(),
+        pstate_log: Vec::new(),
+        cpu_busy: Vec::new(),
+        net_bytes: Vec::new(),
+        completed_visits: Vec::new(),
+        retransmissions: 0,
+        warmup_end: first.at,
+        horizon: last.at,
+    };
+    let cal = Calibration::from_run(&run_like);
+    let spans = SpanSet::extract(log);
+    let window = Window::new(first.at, last.at, SimDuration::from_millis(50));
+    log.nodes
+        .iter()
+        .filter(|n| n.kind == NodeKind::Server && !spans.server(n.id).is_empty())
+        .map(|n| {
+            let report = analyze_server(
+                spans.server(n.id),
+                n.id,
+                window,
+                &cal.services,
+                cal.work_units
+                    .get(&n.id)
+                    .copied()
+                    .unwrap_or(WORK_UNIT_RESOLUTION),
+                &DetectorConfig::default(),
+            );
+            (n.name.clone(), report)
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(before_path), Some(after_path)) = (args.get(1), args.get(2)) else {
+        eprintln!("usage: compare_captures <before.fgbdcap> <after.fgbdcap>");
+        std::process::exit(2);
+    };
+    let before = reports(&load(before_path));
+    let after = reports(&load(after_path));
+
+    println!(
+        "{:<12} | {:>10} {:>8} | {:>10} {:>8} | verdict",
+        "server", "congested", "frozen", "congested", "frozen"
+    );
+    println!("{:<12} | {:^19} | {:^19} |", "", "before", "after");
+    println!("{}", "-".repeat(70));
+    for (name, b) in &before {
+        let Some(a) = after.get(name) else {
+            println!("{name:<12} | (missing in after)");
+            continue;
+        };
+        let verdict = if b.congested_intervals() > 0
+            && a.congested_intervals() * 4 <= b.congested_intervals()
+        {
+            "improved"
+        } else if a.congested_intervals() > b.congested_intervals() * 4 {
+            "REGRESSED"
+        } else {
+            "unchanged"
+        };
+        println!(
+            "{name:<12} | {:>10} {:>8} | {:>10} {:>8} | {verdict}",
+            b.congested_intervals(),
+            b.frozen_intervals(),
+            a.congested_intervals(),
+            a.frozen_intervals(),
+        );
+    }
+    for name in after.keys().filter(|n| !before.contains_key(*n)) {
+        println!("{name:<12} | (missing in before)");
+    }
+}

@@ -1,0 +1,6 @@
+//! Extension experiment (see `fgbd_repro::experiments::ext_autointerval`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::ext_autointerval::run();
+    println!("{}", summary.save());
+}

@@ -1,0 +1,6 @@
+//! Extension experiment (see `fgbd_repro::experiments::ext_drift`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::ext_drift::run();
+    println!("{}", summary.save());
+}

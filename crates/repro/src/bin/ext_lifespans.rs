@@ -1,0 +1,6 @@
+//! Extension experiment (see `fgbd_repro::experiments::ext_lifespans`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::ext_lifespans::run();
+    println!("{}", summary.save());
+}

@@ -1,0 +1,6 @@
+//! Extension experiment (see `fgbd_repro::experiments::ext_overhead`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::ext_overhead::run();
+    println!("{}", summary.save());
+}

@@ -1,0 +1,6 @@
+//! Extension experiment (see `fgbd_repro::experiments::ext_scaleout`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::ext_scaleout::run();
+    println!("{}", summary.save());
+}

@@ -1,0 +1,6 @@
+//! Extension experiment (see `fgbd_repro::experiments::ext_threetier`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::ext_threetier::run();
+    println!("{}", summary.save());
+}

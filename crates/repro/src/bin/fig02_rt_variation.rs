@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig02 (see `fgbd_repro::experiments::fig02`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig02::run();
+    println!("{}", summary.save());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig03 (see `fgbd_repro::experiments::fig03`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig03::run();
+    println!("{}", summary.save());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig05 (see `fgbd_repro::experiments::fig05`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig05::run();
+    println!("{}", summary.save());
+}

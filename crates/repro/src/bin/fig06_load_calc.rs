@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig06 (see `fgbd_repro::experiments::fig06`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig06::run();
+    println!("{}", summary.save());
+}

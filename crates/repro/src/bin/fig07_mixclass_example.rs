@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig07 (see `fgbd_repro::experiments::fig07`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig07::run();
+    println!("{}", summary.save());
+}

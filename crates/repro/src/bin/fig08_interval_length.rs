@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig08 (see `fgbd_repro::experiments::fig08`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig08::run();
+    println!("{}", summary.save());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig09 (see `fgbd_repro::experiments::fig09`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig09::run();
+    println!("{}", summary.save());
+}

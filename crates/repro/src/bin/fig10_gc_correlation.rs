@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10 (see `fgbd_repro::experiments::fig10`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig10::run();
+    println!("{}", summary.save());
+}

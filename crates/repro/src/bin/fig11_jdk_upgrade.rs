@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11 (see `fgbd_repro::experiments::fig11`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig11::run();
+    println!("{}", summary.save());
+}

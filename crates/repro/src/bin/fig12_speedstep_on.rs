@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig12 (see `fgbd_repro::experiments::fig12`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig12::run();
+    println!("{}", summary.save());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig13 (see `fgbd_repro::experiments::fig13`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::fig13::run();
+    println!("{}", summary.save());
+}

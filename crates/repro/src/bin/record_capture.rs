@@ -1,0 +1,67 @@
+//! Records a scenario's passive network capture to a `.fgbdcap` file —
+//! the producer half of the offline-analysis workflow.
+//!
+//! ```bash
+//! cargo run -p fgbd-repro --release --bin record_capture -- \
+//!     [scenario] [users] [seconds] [out.fgbdcap]
+//! ```
+//!
+//! `scenario` is one of `speedstep_on`, `speedstep_off`, `gc_jdk15`,
+//! `gc_jdk16` (default `gc_jdk15`); defaults: 6,000 users, 30 s,
+//! `target/experiments/capture.fgbdcap`.
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use fgbd_des::SimDuration;
+use fgbd_repro::report::out_dir;
+use fgbd_repro::{Scenario, GC_JDK15, GC_JDK16, SPEEDSTEP_OFF, SPEEDSTEP_ON};
+use fgbd_trace::write_capture;
+
+fn scenario_by_name(name: &str) -> Option<Scenario> {
+    match name {
+        "speedstep_on" => Some(SPEEDSTEP_ON),
+        "speedstep_off" => Some(SPEEDSTEP_OFF),
+        "gc_jdk15" => Some(GC_JDK15),
+        "gc_jdk16" => Some(GC_JDK16),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scenario_name = args.get(1).map_or("gc_jdk15", String::as_str);
+    let Some(scenario) = scenario_by_name(scenario_name) else {
+        eprintln!(
+            "unknown scenario {scenario_name}; try speedstep_on, speedstep_off, gc_jdk15, gc_jdk16"
+        );
+        std::process::exit(2);
+    };
+    let users: u32 = args
+        .get(2)
+        .map_or(Ok(6_000), |s| s.parse())
+        .expect("users must be a number");
+    let secs: u64 = args
+        .get(3)
+        .map_or(Ok(30), |s| s.parse())
+        .expect("seconds must be a number");
+    let path = args
+        .get(4)
+        .cloned()
+        .unwrap_or_else(|| out_dir().join("capture.fgbdcap").display().to_string());
+
+    eprintln!("simulating {scenario_name} at WL {users} for {secs}s ...");
+    let mut cfg = scenario.config(users);
+    cfg.duration = SimDuration::from_secs(secs);
+    let run = fgbd_ntier::system::NTierSystem::run(cfg);
+    eprintln!(
+        "  {} messages captured, throughput {:.0} tx/s",
+        run.log.records.len(),
+        run.throughput()
+    );
+
+    let file = File::create(&path).expect("create capture file");
+    write_capture(BufWriter::new(file), &run.log).expect("write capture");
+    println!("wrote {path}");
+    println!("analyze it with: cargo run -p fgbd-repro --release --bin analyze_capture -- {path}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates every table and figure of the paper in order, saving
+//! summaries and CSV series under `target/experiments/`.
+
+fn main() {
+    let summaries = fgbd_repro::experiments::run_all();
+    println!("== all experiments complete: {} artifacts ==", summaries.len());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table01 (see `fgbd_repro::experiments::table01`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::table01::run();
+    println!("{}", summary.save());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table02 (see `fgbd_repro::experiments::table02`).
+
+fn main() {
+    let summary = fgbd_repro::experiments::table02::run();
+    println!("{}", summary.save());
+}

@@ -1,0 +1,104 @@
+//! **Fig 11** — the fix for the GC case study: upgrading Tomcat from
+//! JDK 1.5 (serial collector) to JDK 1.6 (concurrent collector) at
+//! WL 14,000. The POIs of Fig 9(b) disappear (a), and the 50 ms-averaged
+//! system response time loses its multi-second spikes ((b) vs (c)).
+
+use fgbd_core::correlate::mean_per_interval;
+use fgbd_core::detect::DetectorConfig;
+use fgbd_core::stats;
+use fgbd_des::SimDuration;
+
+use crate::pipeline::{Analysis, Calibration};
+use crate::plot;
+use crate::report::{write_csv, ExperimentSummary};
+use crate::scenario::{GC_JDK15, GC_JDK16};
+
+/// Runs WL 14,000 under both JDKs and compares.
+pub fn run() -> ExperimentSummary {
+    let cfg = DetectorConfig::default();
+    let interval = SimDuration::from_millis(50);
+    let mut s = ExperimentSummary::new("fig11");
+
+    let mut rt_spikes = Vec::new();
+    let mut rt_std = Vec::new();
+    let mut pois = Vec::new();
+    for (scenario, label) in [(GC_JDK16, "jdk16"), (GC_JDK15, "jdk15")] {
+        let cal = Calibration::for_scenario(&scenario);
+        let analysis = Analysis::new(scenario.run(14_000), cal);
+        let full = analysis.window(interval);
+        let report = analysis.report("tomcat-1", full, &cfg);
+        pois.push(report.frozen_intervals());
+
+        if label == "jdk16" {
+            let pts = analysis.scatter_points_eq(&report);
+            println!(
+                "{}",
+                plot::scatter(
+                    "Fig 11(a) Tomcat load vs throughput at WL 14,000 (JDK 1.6)",
+                    &pts,
+                    &[],
+                    64,
+                    16,
+                )
+            );
+        }
+
+        let rt = mean_per_interval(&analysis.rt_events(), &full);
+        let finite: Vec<f64> = rt.iter().copied().filter(|v| v.is_finite()).collect();
+        rt_std.push(stats::std_dev(&finite));
+        rt_spikes.push(finite.iter().filter(|&&v| v > 3.0).count());
+        // Paper plots the full 3-minute RT timeline; downsample for the
+        // terminal by taking 1 s means.
+        let coarse = mean_per_interval(
+            &analysis.rt_events(),
+            &analysis.window(SimDuration::from_secs(1)),
+        );
+        println!(
+            "{}",
+            plot::timeline(
+                &format!(
+                    "Fig 11({}) response time [s], 1 s means, WL 14,000 ({label})",
+                    if label == "jdk16" { "b" } else { "c" }
+                ),
+                &coarse,
+                9
+            )
+        );
+        write_csv(
+            &format!("fig11_rt_{label}"),
+            &["interval", "mean_rt_s"],
+            &rt.iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    vec![
+                        i.to_string(),
+                        if v.is_finite() {
+                            format!("{v:.4}")
+                        } else {
+                            String::new()
+                        },
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    s.row(
+        "POIs after upgrade (JDK 1.6)",
+        "none (freezes gone)",
+        pois[0],
+    );
+    s.row("POIs before upgrade (JDK 1.5)", "many", pois[1]);
+    s.row(
+        "RT spikes > 3 s (50 ms means), 1.6 vs 1.5",
+        "far fewer after upgrade",
+        format!("{} vs {}", rt_spikes[0], rt_spikes[1]),
+    );
+    s.row(
+        "RT std-dev (50 ms means), 1.6 vs 1.5",
+        "much smaller after upgrade",
+        format!("{:.3} vs {:.3} s", rt_std[0], rt_std[1]),
+    );
+    s.note("upgrading the collector removes the frequent transient bottlenecks without any hardware change (§IV-B)");
+    s
+}

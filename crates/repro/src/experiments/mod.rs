@@ -1,0 +1,65 @@
+//! One module per paper artifact (table or figure), plus three extension
+//! experiments (`ext_*`) that go beyond the evaluation section: the §IV-B
+//! scale-out fix, the §I monitoring-overhead cost, and 3-tier generality.
+//! Each exposes a `run()` returning an
+//! [`crate::report::ExperimentSummary`] rows and printing
+//! plots plus paper-vs-measured rows; CSV series land in
+//! `target/experiments/`.
+
+pub mod ext_autointerval;
+pub mod ext_drift;
+pub mod ext_lifespans;
+pub mod ext_overhead;
+pub mod ext_scaleout;
+pub mod ext_threetier;
+pub mod fig02;
+pub mod fig03;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod table01;
+pub mod table02;
+
+use crate::report::ExperimentSummary;
+
+/// Runs every experiment in paper order, printing each summary as it
+/// lands; returns all summaries.
+pub fn run_all() -> Vec<ExperimentSummary> {
+    type Experiment = (&'static str, fn() -> ExperimentSummary);
+    let experiments: Vec<Experiment> = vec![
+        ("fig02", fig02::run),
+        ("fig03", fig03::run),
+        ("table01", table01::run),
+        ("fig05", fig05::run),
+        ("fig06", fig06::run),
+        ("fig07", fig07::run),
+        ("fig08", fig08::run),
+        ("fig09", fig09::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("table02", table02::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        // Extensions beyond the paper's evaluation section.
+        ("ext_scaleout", ext_scaleout::run),
+        ("ext_overhead", ext_overhead::run),
+        ("ext_threetier", ext_threetier::run),
+        ("ext_lifespans", ext_lifespans::run),
+        ("ext_drift", ext_drift::run),
+        ("ext_autointerval", ext_autointerval::run),
+    ];
+    let mut out = Vec::new();
+    for (name, f) in experiments {
+        eprintln!(">> running {name}");
+        let summary = f();
+        println!("{}", summary.save());
+        out.push(summary);
+    }
+    out
+}

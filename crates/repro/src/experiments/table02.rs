@@ -1,0 +1,56 @@
+//! **Table II** — the P-states of the experimental machines' Xeon CPUs.
+//! Reproduced directly from the DVFS model's constant table, together with
+//! the per-P-state MySQL capacity the calibration implies (the plateau
+//! levels Fig 12 should land on).
+
+use fgbd_ntier::class::MixTargets;
+use fgbd_ntier::XEON_PSTATES;
+
+use crate::report::{write_csv, ExperimentSummary};
+
+/// Paper's Table II rows: (name, MHz).
+pub const PAPER: [(&str, f64); 5] = [
+    ("P0", 2261.0),
+    ("P1", 2128.0),
+    ("P4", 1729.0),
+    ("P5", 1596.0),
+    ("P8", 1197.0),
+];
+
+/// MySQL saturated throughput (queries/s per node) at each P-state under
+/// the paper calibration.
+pub fn mysql_capacities() -> Vec<f64> {
+    let db_mc = MixTargets::paper_calibration().db_mc;
+    XEON_PSTATES.iter().map(|p| p.mhz / db_mc).collect()
+}
+
+/// Prints the table and cross-checks the model constants.
+pub fn run() -> ExperimentSummary {
+    let caps = mysql_capacities();
+    let mut s = ExperimentSummary::new("table02");
+    let mut rows = Vec::new();
+    for ((paper_name, paper_mhz), (p, cap)) in PAPER.iter().zip(XEON_PSTATES.iter().zip(&caps)) {
+        assert_eq!(*paper_name, p.name, "P-state table drifted from Table II");
+        s.row(
+            &format!("{} clock", p.name),
+            format!("{paper_mhz:.0} MHz"),
+            format!("{:.0} MHz", p.mhz),
+        );
+        rows.push(vec![
+            p.name.to_string(),
+            format!("{:.0}", p.mhz),
+            format!("{cap:.0}"),
+        ]);
+    }
+    write_csv("table02_pstates", &["pstate", "mhz", "mysql_capacity_qps"], &rows);
+    s.row(
+        "P8/P0 clock ratio",
+        "~0.53 (lowest is near half speed)",
+        format!("{:.3}", XEON_PSTATES[4].mhz / XEON_PSTATES[0].mhz),
+    );
+    s.note(format!(
+        "implied MySQL plateau levels: P0 {:.0}, P5 {:.0}, P8 {:.0} queries/s (the paper reads ~7,000/~5,000/~3,700 off Fig 12)",
+        caps[0], caps[3], caps[4]
+    ));
+    s
+}

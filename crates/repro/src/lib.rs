@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # fgbd-repro — the experiment harness
+//!
+//! Regenerates every table and figure of *"Detecting Transient Bottlenecks
+//! in n-Tier Applications through Fine-Grained Analysis"* (ICDCS 2013)
+//! against the simulated testbed. See `DESIGN.md` for the experiment index
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! * [`scenario`] — the named configurations (SpeedStep on/off, JDK 1.5/1.6).
+//! * [`pipeline`] — capture → spans → service-time calibration → per-server
+//!   fine-grained reports.
+//! * [`sweep`] — parallel workload sweeps.
+//! * [`experiments`] — one module per paper artifact; `experiments::run_all`
+//!   regenerates everything.
+//! * [`plot`] / [`report`] — terminal rendering and CSV/summary output under
+//!   `target/experiments/`.
+//!
+//! Run a single figure:
+//!
+//! ```bash
+//! cargo run -p fgbd-repro --release --bin fig12_speedstep_on
+//! ```
+//!
+//! or everything:
+//!
+//! ```bash
+//! cargo run -p fgbd-repro --release --bin run_all
+//! ```
+
+pub mod experiments;
+pub mod pipeline;
+pub mod plot;
+pub mod report;
+pub mod scenario;
+pub mod sweep;
+
+pub use pipeline::{Analysis, Calibration};
+pub use report::ExperimentSummary;
+pub use scenario::{Scenario, GC_JDK15, GC_JDK16, SPEEDSTEP_OFF, SPEEDSTEP_ON};

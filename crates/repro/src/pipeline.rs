@@ -1,0 +1,219 @@
+//! The end-to-end analysis pipeline: capture → spans → service-time
+//! calibration → per-server fine-grained reports.
+
+use std::collections::HashMap;
+
+use fgbd_core::detect::{analyze_server, DetectorConfig, ServerReport};
+use fgbd_core::series::Window;
+use fgbd_des::{SimDuration, SimTime};
+use fgbd_ntier::result::RunResult;
+use fgbd_trace::reconstruct::{Heuristic, Reconstruction};
+use fgbd_trace::servicetime::ServiceTimeTable;
+use fgbd_trace::{NodeId, SpanSet};
+
+use crate::scenario::Scenario;
+
+/// Resolution used when deriving per-server work units from service times.
+pub const WORK_UNIT_RESOLUTION: SimDuration = SimDuration::from_micros(100);
+
+/// Quantile of intra-node delays used as the service-time approximation
+/// (low quantile ≈ queueing-free, per the paper's low-load measurement).
+pub const SERVICE_QUANTILE: f64 = 0.15;
+
+/// Service-time calibration derived from a dedicated low-load run.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Per-`(server, class)` service times.
+    pub services: ServiceTimeTable,
+    /// Per-server work unit (GCD of its class service times).
+    pub work_units: HashMap<NodeId, SimDuration>,
+    /// Per-server mean service time weighted by observed class frequency —
+    /// the scale factor for "equivalent requests per second".
+    pub mean_service: HashMap<NodeId, SimDuration>,
+}
+
+impl Calibration {
+    /// Builds the calibration from any captured run (normally
+    /// [`Scenario::calibration_run`]).
+    pub fn from_run(run: &RunResult) -> Calibration {
+        let rec = Reconstruction::run(&run.log, Heuristic::ProfileGuided);
+        let services = ServiceTimeTable::approximate(&rec, SERVICE_QUANTILE);
+        let mut work_units = HashMap::new();
+        let mut mean_service = HashMap::new();
+        let spans = SpanSet::extract(&run.log);
+        for info in &run.servers {
+            let node = info.node;
+            if let Some(wu) = services.work_unit(node, WORK_UNIT_RESOLUTION) {
+                work_units.insert(node, wu);
+            }
+            // Class-frequency-weighted mean service time.
+            let mut total = 0.0f64;
+            let mut n = 0u64;
+            for s in spans.server(node) {
+                if let Some(svc) = services.get_secs(node, s.class) {
+                    total += svc;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                mean_service.insert(node, SimDuration::from_secs_f64(total / n as f64));
+            }
+        }
+        Calibration {
+            services,
+            work_units,
+            mean_service,
+        }
+    }
+
+    /// Calibrates a scenario by running its low-load calibration workload.
+    pub fn for_scenario(scenario: &Scenario) -> Calibration {
+        Calibration::from_run(&scenario.calibration_run())
+    }
+
+    /// Work unit for `node`, defaulting to the resolution when the node was
+    /// never observed.
+    pub fn work_unit(&self, node: NodeId) -> SimDuration {
+        self.work_units
+            .get(&node)
+            .copied()
+            .unwrap_or(WORK_UNIT_RESOLUTION)
+    }
+
+    /// Mean service time for `node` (zero if unobserved).
+    pub fn mean_service(&self, node: NodeId) -> SimDuration {
+        self.mean_service
+            .get(&node)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// A captured run plus everything needed to analyze it.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The raw run outputs.
+    pub run: RunResult,
+    /// Per-server spans extracted from the capture.
+    pub spans: SpanSet,
+    /// Service-time calibration (from a separate low-load run).
+    pub cal: Calibration,
+}
+
+impl Analysis {
+    /// Wraps a captured run with a calibration.
+    pub fn new(run: RunResult, cal: Calibration) -> Analysis {
+        let spans = SpanSet::extract(&run.log);
+        Analysis { run, spans, cal }
+    }
+
+    /// The measured analysis window (warm-up excluded) at `interval`
+    /// granularity.
+    pub fn window(&self, interval: SimDuration) -> Window {
+        Window::new(self.run.warmup_end, self.run.horizon, interval)
+    }
+
+    /// A sub-window starting `offset` after warm-up and lasting `len` — the
+    /// paper's 10–12 s zoom plots.
+    pub fn sub_window(&self, offset: SimDuration, len: SimDuration, interval: SimDuration) -> Window {
+        let start = self.run.warmup_end + offset;
+        Window::new(start, start + len, interval)
+    }
+
+    /// The trace node of the server named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such server exists.
+    pub fn node(&self, name: &str) -> NodeId {
+        self.run
+            .node_of(name)
+            .unwrap_or_else(|| panic!("no server named {name}"))
+    }
+
+    /// Runs the full §III analysis for the server named `name` over
+    /// `window`.
+    pub fn report(&self, name: &str, window: Window, cfg: &DetectorConfig) -> ServerReport {
+        let node = self.node(name);
+        analyze_server(
+            self.spans.server(node),
+            node,
+            window,
+            &self.cal.services,
+            self.cal.work_unit(node),
+            cfg,
+        )
+    }
+
+    /// End-to-end response-time events `(finish time, seconds)` for
+    /// correlation and timeline plots.
+    pub fn rt_events(&self) -> Vec<(SimTime, f64)> {
+        self.run
+            .txns
+            .iter()
+            .map(|t| (t.finished, t.response_time().as_secs_f64()))
+            .collect()
+    }
+
+    /// `(load, throughput)` pairs of a report as plain points for plotting.
+    pub fn scatter_points(report: &ServerReport) -> Vec<(f64, f64)> {
+        (0..report.load.len())
+            .map(|i| (report.load.get(i), report.tput.unit_rate(i)))
+            .collect()
+    }
+
+    /// Like [`Analysis::scatter_points`] but in equivalent requests per
+    /// second (the paper's MySQL y-axis).
+    pub fn scatter_points_eq(&self, report: &ServerReport) -> Vec<(f64, f64)> {
+        let ms = self.cal.mean_service(report.server);
+        (0..report.load.len())
+            .map(|i| (report.load.get(i), report.tput.equivalent_rate(i, ms)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SPEEDSTEP_OFF;
+
+    #[test]
+    fn calibration_covers_all_servers() {
+        let cal = Calibration::for_scenario(&SPEEDSTEP_OFF);
+        assert!(!cal.services.is_empty());
+        // All six servers have a work unit and mean service.
+        assert_eq!(cal.work_units.len(), 6);
+        assert_eq!(cal.mean_service.len(), 6);
+        for (&node, &wu) in &cal.work_units {
+            assert!(!wu.is_zero());
+            // The work-unit GCD is floored at the resolution, so a very
+            // cheap tier (C-JDBC, ~94 us/query) can sit just below it.
+            let ms = cal.mean_service(node);
+            assert!(ms * 2 >= wu, "mean service far below work unit for {node:?}");
+        }
+    }
+
+    #[test]
+    fn analysis_windows_align_to_measured_period() {
+        let cal = Calibration::for_scenario(&SPEEDSTEP_OFF);
+        let mut cfg = SPEEDSTEP_OFF.config(300);
+        cfg.warmup = SimDuration::from_secs(4);
+        cfg.duration = SimDuration::from_secs(16);
+        let run = fgbd_ntier::system::NTierSystem::run(cfg);
+        let analysis = Analysis::new(run, cal);
+        let w = analysis.window(SimDuration::from_millis(50));
+        assert_eq!(w.len(), 320);
+        let sub = analysis.sub_window(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(sub.len(), 200);
+        // A report runs end to end.
+        let rep = analysis.report("mysql-1", w, &DetectorConfig::default());
+        assert_eq!(rep.states.len(), 320);
+        assert!(!analysis.rt_events().is_empty());
+        let pts = Analysis::scatter_points(&rep);
+        assert_eq!(pts.len(), 320);
+    }
+}

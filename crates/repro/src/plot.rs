@@ -1,0 +1,177 @@
+//! Terminal plotting: ASCII scatter plots and timelines so every figure of
+//! the paper can be eyeballed straight from the harness output.
+
+/// Renders an ASCII scatter plot of `(x, y)` points.
+///
+/// `marks` are highlighted points drawn with their own character (the
+/// numbered callouts of Figs 5/9/12). Returns the rendered multi-line
+/// string.
+pub fn scatter(
+    title: &str,
+    points: &[(f64, f64)],
+    marks: &[(f64, f64, char)],
+    width: usize,
+    height: usize,
+) -> String {
+    let mut all: Vec<(f64, f64)> = points.to_vec();
+    all.extend(marks.iter().map(|&(x, y, _)| (x, y)));
+    let finite: Vec<(f64, f64)> = all
+        .into_iter()
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let mut out = format!("{title}\n");
+    if finite.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let (xmin, xmax) = bounds(finite.iter().map(|p| p.0));
+    let (ymin, ymax) = bounds(finite.iter().map(|p| p.1));
+    let (w, h) = (width.max(16), height.max(6));
+    let mut grid = vec![vec![' '; w]; h];
+    let place = |x: f64, y: f64| -> (usize, usize) {
+        let cx = if xmax > xmin {
+            ((x - xmin) / (xmax - xmin) * (w - 1) as f64).round() as usize
+        } else {
+            0
+        };
+        let cy = if ymax > ymin {
+            ((y - ymin) / (ymax - ymin) * (h - 1) as f64).round() as usize
+        } else {
+            0
+        };
+        (cx.min(w - 1), h - 1 - cy.min(h - 1))
+    };
+    for &(x, y) in points {
+        if x.is_finite() && y.is_finite() {
+            let (cx, cy) = place(x, y);
+            grid[cy][cx] = match grid[cy][cx] {
+                ' ' => '.',
+                '.' => ':',
+                ':' => '*',
+                c => c,
+            };
+        }
+    }
+    for &(x, y, ch) in marks {
+        let (cx, cy) = place(x, y);
+        grid[cy][cx] = ch;
+    }
+    out.push_str(&format!("  y: {ymin:.1} .. {ymax:.1}\n"));
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "  +{}\n  x: {xmin:.2} .. {xmax:.2}\n",
+        "-".repeat(w)
+    ));
+    out
+}
+
+/// Renders a vertical-bar timeline of one series (one column per value).
+pub fn timeline(title: &str, values: &[f64], height: usize) -> String {
+    let mut out = format!("{title}\n");
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let (lo, hi) = bounds(finite.iter().copied());
+    let h = height.max(4);
+    let scale = |v: f64| -> usize {
+        if hi > lo {
+            (((v - lo) / (hi - lo)) * h as f64).round() as usize
+        } else {
+            0
+        }
+    };
+    out.push_str(&format!("  max {hi:.2}\n"));
+    for level in (1..=h).rev() {
+        out.push_str("  |");
+        for &v in values {
+            out.push(if v.is_finite() && scale(v) >= level {
+                '#'
+            } else {
+                ' '
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("  +{}\n  min {lo:.2}\n", "-".repeat(values.len())));
+    out
+}
+
+/// Renders a two-column table with aligned separators.
+pub fn table(title: &str, header: (&str, &str), rows: &[(String, String)]) -> String {
+    let w0 = rows
+        .iter()
+        .map(|(a, _)| a.len())
+        .chain([header.0.len()])
+        .max()
+        .unwrap_or(8);
+    let mut out = format!("{title}\n  {:<w0$} | {}\n", header.0, header.1);
+    out.push_str(&format!("  {}-+-{}\n", "-".repeat(w0), "-".repeat(24)));
+    for (a, b) in rows {
+        out.push_str(&format!("  {a:<w0$} | {b}\n"));
+    }
+    out
+}
+
+fn bounds<I: Iterator<Item = f64>>(values: I) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_renders_points_and_marks() {
+        let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i * i) as f64)).collect();
+        let s = scatter("demo", &pts, &[(25.0, 625.0, '1')], 40, 12);
+        assert!(s.contains("demo"));
+        assert!(s.contains('1'));
+        assert!(s.contains('.'));
+        assert!(s.lines().count() > 12);
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_degenerate() {
+        assert!(scatter("e", &[], &[], 40, 10).contains("no data"));
+        let s = scatter("one", &[(1.0, 1.0)], &[], 40, 10);
+        assert!(s.contains('.'));
+        // NaNs are ignored rather than panicking.
+        let s2 = scatter("nan", &[(f64::NAN, 1.0), (1.0, 2.0)], &[], 40, 10);
+        assert!(s2.contains('.'));
+    }
+
+    #[test]
+    fn timeline_marks_peaks() {
+        let mut v = vec![0.0; 30];
+        v[10] = 10.0;
+        let t = timeline("load", &v, 5);
+        assert!(t.contains('#'));
+        assert!(t.contains("max 10.00"));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            "T",
+            ("metric", "value"),
+            &[
+                ("throughput".to_string(), "1000".to_string()),
+                ("rt".to_string(), "0.05".to_string()),
+            ],
+        );
+        assert!(t.contains("throughput"));
+        assert!(t.contains("| 1000"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Experiment output plumbing: CSV files under `target/experiments/` and a
+//! uniform paper-vs-measured summary format.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The directory experiment artifacts are written to.
+pub fn out_dir() -> PathBuf {
+    let dir = Path::new("target").join("experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// Writes a CSV file under [`out_dir`]; returns its path.
+///
+/// # Panics
+///
+/// Panics on I/O errors (experiment harness context) or if a row's width
+/// differs from the header's.
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = out_dir().join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write csv header");
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "csv row width mismatch");
+        writeln!(f, "{}", row.join(",")).expect("write csv row");
+    }
+    path
+}
+
+/// One experiment's structured outcome: identifier, headline comparison
+/// rows (paper vs measured), and free-form notes.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentSummary {
+    /// Experiment id (e.g. `"fig12"`).
+    pub id: String,
+    /// `(quantity, paper value, measured value)` rows.
+    pub rows: Vec<(String, String, String)>,
+    /// Pass/fail style observations.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentSummary {
+    /// An empty summary for `id`.
+    pub fn new(id: &str) -> ExperimentSummary {
+        ExperimentSummary {
+            id: id.to_string(),
+            ..ExperimentSummary::default()
+        }
+    }
+
+    /// Appends a paper-vs-measured row.
+    pub fn row(&mut self, what: &str, paper: impl ToString, measured: impl ToString) {
+        self.rows
+            .push((what.to_string(), paper.to_string(), measured.to_string()));
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, s: impl ToString) {
+        self.notes.push(s.to_string());
+    }
+
+    /// Renders the summary for the terminal.
+    pub fn render(&self) -> String {
+        let w0 = self
+            .rows
+            .iter()
+            .map(|(a, _, _)| a.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8);
+        let w1 = self
+            .rows
+            .iter()
+            .map(|(_, b, _)| b.len())
+            .chain([14])
+            .max()
+            .unwrap_or(14);
+        let mut out = format!("== {} ==\n", self.id);
+        out.push_str(&format!(
+            "  {:<w0$} | {:<w1$} | measured\n  {}-+-{}-+----------\n",
+            "quantity",
+            "paper",
+            "-".repeat(w0),
+            "-".repeat(w1)
+        ));
+        for (a, b, c) in &self.rows {
+            out.push_str(&format!("  {a:<w0$} | {b:<w1$} | {c}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Writes the rendered summary to `target/experiments/<id>.txt` and
+    /// returns the rendering.
+    pub fn save(&self) -> String {
+        let s = self.render();
+        let path = out_dir().join(format!("{}.txt", self.id));
+        fs::write(path, &s).expect("write summary");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = write_csv(
+            "unit_test_csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let content = fs::read_to_string(p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn csv_rejects_ragged_rows() {
+        write_csv("unit_test_ragged", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn summary_renders_rows_and_notes() {
+        let mut s = ExperimentSummary::new("figX");
+        s.row("throughput", "~1,150/s", "1,148/s");
+        s.note("shape holds");
+        let r = s.render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("throughput"));
+        assert!(r.contains("note: shape holds"));
+        let saved = s.save();
+        assert_eq!(saved, r);
+    }
+}

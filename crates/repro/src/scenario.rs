@@ -1,0 +1,112 @@
+//! Named experimental scenarios matching the paper's two case studies.
+
+use fgbd_des::SimDuration;
+use fgbd_ntier::config::{Jdk, SystemConfig};
+use fgbd_ntier::result::RunResult;
+use fgbd_ntier::system::NTierSystem;
+
+/// The master seed shared by all experiments (figures are deterministic).
+pub const MASTER_SEED: u64 = 20130708;
+
+/// A named scenario: the 1L/2S/1L/2S topology with the case-study knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scenario {
+    /// Scenario family name (used in output paths).
+    pub name: &'static str,
+    /// Tomcat JDK (GC model).
+    pub jdk: Jdk,
+    /// MySQL SpeedStep enabled?
+    pub speedstep: bool,
+}
+
+/// The configuration of Fig 2/3/5/12 and Table I: JDK 1.6 Tomcat, SpeedStep
+/// enabled on MySQL.
+pub const SPEEDSTEP_ON: Scenario = Scenario {
+    name: "speedstep_on",
+    jdk: Jdk::Jdk16,
+    speedstep: true,
+};
+
+/// The §IV-D fix: SpeedStep disabled (MySQL pinned at P0) — Fig 13.
+pub const SPEEDSTEP_OFF: Scenario = Scenario {
+    name: "speedstep_off",
+    jdk: Jdk::Jdk16,
+    speedstep: false,
+};
+
+/// The §IV-A configuration: JDK 1.5 Tomcat (serial stop-the-world GC),
+/// SpeedStep disabled — Figs 8, 9, 10, 11(c).
+pub const GC_JDK15: Scenario = Scenario {
+    name: "gc_jdk15",
+    jdk: Jdk::Jdk15,
+    speedstep: false,
+};
+
+/// The §IV-B fix: JDK 1.6 Tomcat — Fig 11(a)/(b).
+pub const GC_JDK16: Scenario = Scenario {
+    name: "gc_jdk16",
+    jdk: Jdk::Jdk16,
+    speedstep: false,
+};
+
+impl Scenario {
+    /// The full configuration at the given workload (3-minute measured
+    /// period after a 30 s warm-up, like the paper's runs).
+    pub fn config(&self, users: u32) -> SystemConfig {
+        SystemConfig::paper_1l2s1l2s(users, self.jdk, self.speedstep, MASTER_SEED)
+    }
+
+    /// Runs the scenario at workload `users` with the capture enabled.
+    pub fn run(&self, users: u32) -> RunResult {
+        NTierSystem::run(self.config(users))
+    }
+
+    /// Runs without message capture — cheaper, for experiments that only
+    /// need client-side samples and CPU counters (Fig 2, Fig 3, Table I).
+    pub fn run_uncaptured(&self, users: u32) -> RunResult {
+        let mut cfg = self.config(users);
+        cfg.capture = false;
+        NTierSystem::run(cfg)
+    }
+
+    /// A short low-workload calibration run used for service-time
+    /// approximation (the paper measures service times "when the production
+    /// system is under low workload").
+    pub fn calibration_run(&self) -> RunResult {
+        let mut cfg = self.config(400);
+        cfg.warmup = SimDuration::from_secs(5);
+        cfg.duration = SimDuration::from_secs(40);
+        NTierSystem::run(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_set_their_knobs() {
+        assert!(SPEEDSTEP_ON.config(100).topology[3][0].dvfs.is_some());
+        assert!(SPEEDSTEP_OFF.config(100).topology[3][0].dvfs.is_none());
+        let gc15 = GC_JDK15.config(100).topology[1][0].gc.unwrap();
+        assert_eq!(
+            gc15.collector,
+            fgbd_ntier::gc::Collector::SerialStopTheWorld
+        );
+        let gc16 = GC_JDK16.config(100).topology[1][0].gc.unwrap();
+        assert_eq!(
+            gc16.collector,
+            fgbd_ntier::gc::Collector::ConcurrentMarkSweep
+        );
+    }
+
+    #[test]
+    fn calibration_run_is_short_and_light() {
+        let res = SPEEDSTEP_OFF.calibration_run();
+        assert!(res.throughput() > 10.0);
+        assert!(res.horizon.as_secs_f64() <= 46.0);
+        // Low load: Tomcat nowhere near saturation.
+        let t = res.server_index("tomcat-1").unwrap();
+        assert!(res.mean_cpu_util(t) < 0.3);
+    }
+}

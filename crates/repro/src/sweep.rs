@@ -1,0 +1,80 @@
+//! Parallel workload sweeps: run one scenario at many workload levels,
+//! using however many cores the host offers. Each run is independently
+//! seeded by the scenario, so results are identical whatever the worker
+//! count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use fgbd_ntier::result::RunResult;
+use parking_lot::Mutex;
+
+use crate::scenario::Scenario;
+
+/// Runs `scenario` at every workload in `workloads` (without capture — the
+/// sweep consumers use client-side samples and CPU counters only) and
+/// returns results aligned with the input order.
+pub fn run_sweep(scenario: &Scenario, workloads: &[u32]) -> Vec<RunResult> {
+    run_sweep_with(workloads, |users| scenario.run_uncaptured(users))
+}
+
+/// Generic sweep driver: applies `job` to every workload on a worker pool
+/// sized to the host's parallelism.
+pub fn run_sweep_with<F>(workloads: &[u32], job: F) -> Vec<RunResult>
+where
+    F: Fn(u32) -> RunResult + Sync,
+{
+    let workers = thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(workloads.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> =
+        workloads.iter().map(|_| Mutex::new(None)).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= workloads.len() {
+                    break;
+                }
+                let res = job(workloads[i]);
+                *slots[i].lock() = Some(res);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("sweep slot unfilled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SPEEDSTEP_OFF;
+    use fgbd_des::SimDuration;
+    use fgbd_ntier::system::NTierSystem;
+
+    #[test]
+    fn sweep_preserves_order_and_determinism() {
+        let wls = [100u32, 300, 200];
+        let job = |users: u32| {
+            let mut cfg = SPEEDSTEP_OFF.config(users);
+            cfg.warmup = SimDuration::from_secs(2);
+            cfg.duration = SimDuration::from_secs(8);
+            cfg.capture = false;
+            NTierSystem::run(cfg)
+        };
+        let a = run_sweep_with(&wls, job);
+        let b = run_sweep_with(&wls, job);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.txns.len(), y.txns.len());
+        }
+        // Throughput grows with the workload.
+        assert!(a[1].throughput() > a[0].throughput());
+        assert!(a[1].throughput() > a[2].throughput());
+    }
+}

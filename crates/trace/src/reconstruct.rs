@@ -1,0 +1,573 @@
+//! Black-box transaction reconstruction (the SysViz role).
+//!
+//! SysViz is a *black-box* tracer: interaction messages carry no global
+//! transaction identifier, so the trace of each transaction must be
+//! reconstructed from timing and nesting constraints alone (paper §II-C; the
+//! authors report >99% accuracy on a 4-tier application under high
+//! concurrency).
+//!
+//! The structural facts available to a black-box reconstructor:
+//!
+//! * A downstream call observed on server `P → S` must belong to a request
+//!   that is currently **active** on `P` (its thread is blocked on the call —
+//!   calls are synchronous in n-tier middleware).
+//! * A request that already has an **outstanding** downstream call cannot
+//!   issue another one — its thread is blocked. This hard constraint prunes
+//!   most candidates under high concurrency.
+//! * The **class signature** visible in message payloads (URL pattern /
+//!   query template) must be consistent along a transaction: a parent of
+//!   class *c* only issues class-*c* calls. (SysViz learns such
+//!   URL-to-query-template associations from its transaction models.)
+//! * The parent server `P` is *known* from the message's source address; the
+//!   ambiguity is only **which** of the requests active on `P` issued the
+//!   call.
+//! * Requests on one TCP connection are serial, so request/response pairing
+//!   per connection is exact.
+//!
+//! After pruning, remaining ties are broken by a [`Heuristic`]: recency (a
+//! thread that just received a response or just arrived is the most likely
+//! next caller), FIFO (oldest active request first), or a profile-guided
+//! mode that learns per-class fan-out counts from unambiguous
+//! (single-candidate) situations and uses them to rule out parents that
+//! already issued their full complement of calls. [`Accuracy`] scores any
+//! reconstruction against simulator ground truth.
+
+use std::collections::HashMap;
+
+use fgbd_des::SimTime;
+
+use crate::record::{ClassId, ConnId, MsgKind, NodeId, NodeKind, TraceLog, TxnId};
+
+/// Parent-attribution strategy for downstream calls (applied after the hard
+/// blocked/class pruning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// Attribute to the candidate whose last observed event (arrival, issued
+    /// call, or received child response) is **oldest**: under processor
+    /// sharing it has had the most time to finish its CPU segment and issue
+    /// the next call. The default, and empirically the most accurate.
+    LongestQuiescent,
+    /// Attribute to the candidate whose last observed event is most recent.
+    /// A baseline for the ablation benchmarks.
+    MostRecent,
+    /// Attribute to the oldest active request (FIFO by arrival). A naive
+    /// baseline.
+    Fifo,
+    /// [`Heuristic::LongestQuiescent`], additionally filtered by learned
+    /// per-class fan-out counts: parents that already issued as many calls
+    /// as their class was ever observed to issue (in unambiguous cases) are
+    /// ruled out.
+    ProfileGuided,
+}
+
+/// One reconstructed per-server span, with its attributed parent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecSpan {
+    /// Server the request visited.
+    pub server: NodeId,
+    /// Class signature.
+    pub class: ClassId,
+    /// Request-message capture time.
+    pub arrival: SimTime,
+    /// Response-message capture time; `None` if still open at capture end.
+    pub departure: Option<SimTime>,
+    /// Connection the request travelled on.
+    pub conn: ConnId,
+    /// Index of the attributed parent span, `None` for transaction roots.
+    pub parent: Option<usize>,
+    /// Index of this span's transaction root.
+    pub root: usize,
+    /// Number of downstream calls attributed to this span.
+    pub calls_issued: u32,
+    /// Ground truth transaction id (copied through for validation; never
+    /// consulted during attribution).
+    pub truth: Option<TxnId>,
+}
+
+/// One reconstructed transaction: a root client request and every span
+/// attributed to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Txn {
+    /// Index of the root span.
+    pub root: usize,
+    /// All member spans (including the root), in creation order.
+    pub spans: Vec<usize>,
+    /// `true` if every member span saw its response before capture end.
+    pub complete: bool,
+}
+
+/// The result of black-box reconstruction over a capture.
+#[derive(Debug, Clone, Default)]
+pub struct Reconstruction {
+    /// Every reconstructed span.
+    pub spans: Vec<RecSpan>,
+    /// Transactions, one per client request observed.
+    pub txns: Vec<Txn>,
+}
+
+impl Reconstruction {
+    /// Reconstructs transactions from a capture using `heuristic`.
+    ///
+    /// Only observable fields are consulted; ground truth is copied through
+    /// for later validation but never influences attribution (verified by
+    /// the `blinded_log_gives_identical_edges` test).
+    pub fn run(log: &TraceLog, heuristic: Heuristic) -> Reconstruction {
+        let client: Vec<NodeId> = log
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Client)
+            .map(|n| n.id)
+            .collect();
+        let is_client = |id: NodeId| client.contains(&id);
+
+        let mut spans: Vec<RecSpan> = Vec::new();
+        let mut last_event: Vec<SimTime> = Vec::new();
+        // Spans blocked on an outstanding downstream call (synchronous
+        // middleware: such spans cannot issue another call).
+        let mut blocked: Vec<bool> = Vec::new();
+        // Open requests per (server, conn), FIFO.
+        let mut open: HashMap<(NodeId, ConnId), Vec<usize>> = HashMap::new();
+        // Active span indices per server.
+        let mut active: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        // Learned fan-out profile: (server, class) -> (max calls, samples)
+        // from unambiguous parents.
+        let mut profile: HashMap<(NodeId, ClassId), (u32, u64)> = HashMap::new();
+        // Marks spans whose entire life had exactly one candidate ambiguity
+        // (so their call count is trustworthy for the profile).
+        let mut unambiguous: Vec<bool> = Vec::new();
+        let mut txn_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut txns: Vec<Txn> = Vec::new();
+
+        for rec in &log.records {
+            match rec.kind {
+                MsgKind::Request => {
+                    let server = rec.dst;
+                    let idx = spans.len();
+                    let (parent, root) = if is_client(rec.src) {
+                        (None, idx)
+                    } else {
+                        let all = active.get(&rec.src).map_or(&[][..], Vec::as_slice);
+                        // Hard constraint: blocked spans cannot call.
+                        let unblocked: Vec<usize> =
+                            all.iter().copied().filter(|&i| !blocked[i]).collect();
+                        // Soft constraint: class signatures are consistent
+                        // along a transaction; relax if it empties the set.
+                        let class_match: Vec<usize> = unblocked
+                            .iter()
+                            .copied()
+                            .filter(|&i| spans[i].class == rec.class)
+                            .collect();
+                        let cands: &[usize] = if !class_match.is_empty() {
+                            &class_match
+                        } else if !unblocked.is_empty() {
+                            &unblocked
+                        } else {
+                            all
+                        };
+                        let chosen = choose_parent(
+                            cands,
+                            &spans,
+                            &last_event,
+                            &profile,
+                            heuristic,
+                        );
+                        match chosen {
+                            Some(p) => {
+                                if cands.len() > 1 {
+                                    // This parent's call count is now
+                                    // heuristic-dependent; don't learn from it.
+                                    unambiguous[p] = false;
+                                }
+                                blocked[p] = true;
+                                (Some(p), spans[p].root)
+                            }
+                            // Orphan call (capture truncation): treat as its
+                            // own root so analysis can continue.
+                            None => (None, idx),
+                        }
+                    };
+                    spans.push(RecSpan {
+                        server,
+                        class: rec.class,
+                        arrival: rec.at,
+                        departure: None,
+                        conn: rec.conn,
+                        parent,
+                        root,
+                        calls_issued: 0,
+                        truth: rec.truth,
+                    });
+                    last_event.push(rec.at);
+                    blocked.push(false);
+                    unambiguous.push(true);
+                    if let Some(p) = parent {
+                        spans[p].calls_issued += 1;
+                        last_event[p] = rec.at;
+                    }
+                    open.entry((server, rec.conn)).or_default().push(idx);
+                    active.entry(server).or_default().push(idx);
+                    // Register the transaction when a root appears.
+                    if parent.is_none() && root == idx {
+                        let t = txns.len();
+                        txns.push(Txn {
+                            root: idx,
+                            spans: vec![idx],
+                            complete: false,
+                        });
+                        txn_of_root.insert(idx, t);
+                    } else {
+                        let t = txn_of_root[&root];
+                        txns[t].spans.push(idx);
+                    }
+                }
+                MsgKind::Response => {
+                    let server = rec.src;
+                    let Some(idx) = open
+                        .get_mut(&(server, rec.conn))
+                        .filter(|v| !v.is_empty())
+                        .map(|v| v.remove(0))
+                    else {
+                        // Response with no matching request: front-truncated
+                        // capture; skip.
+                        continue;
+                    };
+                    spans[idx].departure = Some(rec.at);
+                    if let Some(v) = active.get_mut(&server) {
+                        v.retain(|&i| i != idx);
+                    }
+                    if let Some(p) = spans[idx].parent {
+                        last_event[p] = rec.at;
+                        blocked[p] = false;
+                    }
+                    // Feed the fan-out profile from unambiguous spans.
+                    if unambiguous[idx] && spans[idx].calls_issued > 0 {
+                        let e = profile
+                            .entry((server, spans[idx].class))
+                            .or_insert((0, 0));
+                        e.0 = e.0.max(spans[idx].calls_issued);
+                        e.1 += 1;
+                    }
+                }
+            }
+        }
+
+        for txn in &mut txns {
+            txn.complete = txn
+                .spans
+                .iter()
+                .all(|&i| spans[i].departure.is_some());
+        }
+
+        Reconstruction { spans, txns }
+    }
+
+    /// Number of complete transactions.
+    pub fn complete_txns(&self) -> usize {
+        self.txns.iter().filter(|t| t.complete).count()
+    }
+
+    /// Indices of the direct children of span `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent == Some(i))
+            .map(|(j, _)| j)
+            .collect()
+    }
+}
+
+fn choose_parent(
+    cands: &[usize],
+    spans: &[RecSpan],
+    last_event: &[SimTime],
+    profile: &HashMap<(NodeId, ClassId), (u32, u64)>,
+    heuristic: Heuristic,
+) -> Option<usize> {
+    if cands.is_empty() {
+        return None;
+    }
+    if cands.len() == 1 {
+        return Some(cands[0]);
+    }
+    match heuristic {
+        Heuristic::LongestQuiescent => longest_quiescent(cands, last_event),
+        Heuristic::MostRecent => cands
+            .iter()
+            .copied()
+            .max_by_key(|&i| (last_event[i], i)),
+        Heuristic::Fifo => cands
+            .iter()
+            .copied()
+            .min_by_key(|&i| (spans[i].arrival, i)),
+        Heuristic::ProfileGuided => {
+            // Keep candidates that have not yet exhausted their learned
+            // fan-out cap; fall back to all candidates if none qualify.
+            let cap = |i: usize| -> Option<u32> {
+                let (max, n) = profile.get(&(spans[i].server, spans[i].class))?;
+                if *n < 8 {
+                    return None; // too few samples to trust
+                }
+                Some(*max)
+            };
+            let eligible: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| cap(i).is_none_or(|b| spans[i].calls_issued < b))
+                .collect();
+            if eligible.is_empty() {
+                longest_quiescent(cands, last_event)
+            } else {
+                longest_quiescent(&eligible, last_event)
+            }
+        }
+    }
+}
+
+fn longest_quiescent(cands: &[usize], last_event: &[SimTime]) -> Option<usize> {
+    cands
+        .iter()
+        .copied()
+        .min_by_key(|&i| (last_event[i], i))
+}
+
+/// Reconstruction quality relative to ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Fraction of non-root spans attributed to a parent of the correct
+    /// transaction.
+    pub edge_accuracy: f64,
+    /// Fraction of complete ground-truth transactions whose reconstructed
+    /// span set matches exactly.
+    pub txn_accuracy: f64,
+    /// Number of non-root spans scored.
+    pub edges: usize,
+    /// Number of ground-truth transactions scored.
+    pub txns: usize,
+}
+
+impl Accuracy {
+    /// Scores `rec` against the ground-truth annotations it carries.
+    ///
+    /// Spans without ground truth (blinded captures) are skipped; call this
+    /// on a reconstruction of the *annotated* log.
+    pub fn evaluate(rec: &Reconstruction) -> Accuracy {
+        let mut edges = 0usize;
+        let mut correct_edges = 0usize;
+        for s in &rec.spans {
+            let (Some(p), Some(truth)) = (s.parent, s.truth) else {
+                continue;
+            };
+            edges += 1;
+            if rec.spans[p].truth == Some(truth) {
+                correct_edges += 1;
+            }
+        }
+
+        // Ground-truth span multiset per txn id (only spans that closed).
+        let mut truth_count: HashMap<TxnId, usize> = HashMap::new();
+        for s in &rec.spans {
+            if let (Some(t), Some(_)) = (s.truth, s.departure) {
+                *truth_count.entry(t).or_default() += 1;
+            }
+        }
+        let mut txns = 0usize;
+        let mut correct_txns = 0usize;
+        for txn in &rec.txns {
+            if !txn.complete {
+                continue;
+            }
+            let Some(root_truth) = rec.spans[txn.root].truth else {
+                continue;
+            };
+            txns += 1;
+            let all_match = txn
+                .spans
+                .iter()
+                .all(|&i| rec.spans[i].truth == Some(root_truth));
+            if all_match && truth_count.get(&root_truth) == Some(&txn.spans.len()) {
+                correct_txns += 1;
+            }
+        }
+
+        Accuracy {
+            edge_accuracy: if edges == 0 {
+                1.0
+            } else {
+                correct_edges as f64 / edges as f64
+            },
+            txn_accuracy: if txns == 0 {
+                1.0
+            } else {
+                correct_txns as f64 / txns as f64
+            },
+            edges,
+            txns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MsgRecord, NodeMeta};
+
+    const CLIENT: NodeId = NodeId(0);
+    const WEB: NodeId = NodeId(1);
+    const APP: NodeId = NodeId(2);
+
+    fn nodes() -> Vec<NodeMeta> {
+        vec![
+            NodeMeta {
+                id: CLIENT,
+                name: "client".into(),
+                kind: NodeKind::Client,
+                tier: None,
+            },
+            NodeMeta {
+                id: WEB,
+                name: "web".into(),
+                kind: NodeKind::Server,
+                tier: Some(0),
+            },
+            NodeMeta {
+                id: APP,
+                name: "app".into(),
+                kind: NodeKind::Server,
+                tier: Some(1),
+            },
+        ]
+    }
+
+    fn rec(at: u64, src: NodeId, dst: NodeId, kind: MsgKind, conn: u32, truth: u64) -> MsgRecord {
+        MsgRecord {
+            at: SimTime::from_micros(at),
+            src,
+            dst,
+            kind,
+            conn: ConnId(conn),
+            class: ClassId(1),
+            bytes: 64,
+            truth: Some(TxnId(truth)),
+        }
+    }
+
+    /// Two fully serial transactions: unambiguous regardless of heuristic.
+    fn serial_log() -> TraceLog {
+        let mut log = TraceLog::new(nodes());
+        for (base, truth, conn) in [(0u64, 1u64, 10u32), (1000, 2, 11)] {
+            log.push(rec(base + 10, CLIENT, WEB, MsgKind::Request, conn, truth));
+            log.push(rec(base + 20, WEB, APP, MsgKind::Request, 100 + conn, truth));
+            log.push(rec(base + 50, APP, WEB, MsgKind::Response, 100 + conn, truth));
+            log.push(rec(base + 60, WEB, CLIENT, MsgKind::Response, conn, truth));
+        }
+        log
+    }
+
+    #[test]
+    fn serial_transactions_reconstruct_perfectly() {
+        for h in [
+            Heuristic::LongestQuiescent,
+            Heuristic::MostRecent,
+            Heuristic::Fifo,
+            Heuristic::ProfileGuided,
+        ] {
+            let rec = Reconstruction::run(&serial_log(), h);
+            assert_eq!(rec.txns.len(), 2);
+            assert_eq!(rec.complete_txns(), 2);
+            let acc = Accuracy::evaluate(&rec);
+            assert_eq!(acc.edge_accuracy, 1.0, "heuristic {h:?}");
+            assert_eq!(acc.txn_accuracy, 1.0, "heuristic {h:?}");
+            assert_eq!(acc.edges, 2);
+        }
+    }
+
+    /// A blocked span cannot be attributed a second call, no matter the
+    /// heuristic: while txn 1's app call is outstanding, txn 2's call can
+    /// only belong to txn 2.
+    #[test]
+    fn blocked_constraint_resolves_interleaved_calls() {
+        let mut log = TraceLog::new(nodes());
+        log.push(rec(10, CLIENT, WEB, MsgKind::Request, 10, 1));
+        log.push(rec(12, WEB, APP, MsgKind::Request, 110, 1)); // txn1 now blocked
+        log.push(rec(30, CLIENT, WEB, MsgKind::Request, 11, 2));
+        log.push(rec(32, WEB, APP, MsgKind::Request, 111, 2)); // only txn2 can call
+        log.push(rec(60, APP, WEB, MsgKind::Response, 110, 1));
+        log.push(rec(70, APP, WEB, MsgKind::Response, 111, 2));
+        log.push(rec(80, WEB, CLIENT, MsgKind::Response, 10, 1));
+        log.push(rec(90, WEB, CLIENT, MsgKind::Response, 11, 2));
+        for h in [Heuristic::LongestQuiescent, Heuristic::MostRecent, Heuristic::Fifo] {
+            let r = Reconstruction::run(&log, h);
+            let acc = Accuracy::evaluate(&r);
+            assert_eq!(acc.edge_accuracy, 1.0, "{h:?}");
+            assert_eq!(acc.txn_accuracy, 1.0, "{h:?}");
+        }
+    }
+
+    /// When two unblocked same-class spans are candidates, the one whose
+    /// last event is oldest has had the time to finish its CPU segment and
+    /// issue the call — LongestQuiescent resolves this, MostRecent does not.
+    #[test]
+    fn longest_quiescent_beats_most_recent_on_second_calls() {
+        let mut log = TraceLog::new(nodes());
+        // Txn 1 arrives, issues call 1 immediately, gets its response at 20,
+        // then computes for 20us before issuing call 2 at t=40.
+        log.push(rec(0, CLIENT, WEB, MsgKind::Request, 10, 1));
+        log.push(rec(2, WEB, APP, MsgKind::Request, 110, 1));
+        log.push(rec(20, APP, WEB, MsgKind::Response, 110, 1));
+        // Txn 2 arrives at 30 (its last event is newer than txn 1's).
+        log.push(rec(30, CLIENT, WEB, MsgKind::Request, 11, 2));
+        // Txn 1 issues its second call at t=40.
+        log.push(rec(40, WEB, APP, MsgKind::Request, 111, 1));
+        log.push(rec(55, APP, WEB, MsgKind::Response, 111, 1));
+        log.push(rec(60, WEB, CLIENT, MsgKind::Response, 10, 1));
+        // Txn 2 issues its call only after txn 1 finished.
+        log.push(rec(65, WEB, APP, MsgKind::Request, 112, 2));
+        log.push(rec(75, APP, WEB, MsgKind::Response, 112, 2));
+        log.push(rec(80, WEB, CLIENT, MsgKind::Response, 11, 2));
+        let good = Accuracy::evaluate(&Reconstruction::run(&log, Heuristic::LongestQuiescent));
+        assert_eq!(good.edge_accuracy, 1.0);
+        let bad = Accuracy::evaluate(&Reconstruction::run(&log, Heuristic::MostRecent));
+        assert!(bad.edge_accuracy < 1.0);
+    }
+
+    #[test]
+    fn blinded_log_gives_identical_edges() {
+        let log = serial_log();
+        let a = Reconstruction::run(&log, Heuristic::LongestQuiescent);
+        let b = Reconstruction::run(&log.blinded(), Heuristic::LongestQuiescent);
+        let edges_a: Vec<Option<usize>> = a.spans.iter().map(|s| s.parent).collect();
+        let edges_b: Vec<Option<usize>> = b.spans.iter().map(|s| s.parent).collect();
+        assert_eq!(edges_a, edges_b);
+        // Blinded spans carry no truth.
+        assert!(b.spans.iter().all(|s| s.truth.is_none()));
+    }
+
+    #[test]
+    fn incomplete_txn_is_flagged() {
+        let mut log = serial_log();
+        // A root whose response never arrives.
+        log.push(rec(5000, CLIENT, WEB, MsgKind::Request, 12, 3));
+        let r = Reconstruction::run(&log, Heuristic::LongestQuiescent);
+        assert_eq!(r.txns.len(), 3);
+        assert_eq!(r.complete_txns(), 2);
+    }
+
+    #[test]
+    fn orphan_downstream_call_becomes_root() {
+        let mut log = TraceLog::new(nodes());
+        // An app call with no active web span (front truncation).
+        log.push(rec(10, WEB, APP, MsgKind::Request, 100, 9));
+        log.push(rec(20, APP, WEB, MsgKind::Response, 100, 9));
+        let r = Reconstruction::run(&log, Heuristic::LongestQuiescent);
+        assert_eq!(r.txns.len(), 1);
+        assert!(r.spans[0].parent.is_none());
+    }
+
+    #[test]
+    fn children_lists_direct_descendants() {
+        let r = Reconstruction::run(&serial_log(), Heuristic::LongestQuiescent);
+        assert_eq!(r.children(0), vec![1]);
+        assert!(r.children(1).is_empty());
+    }
+}

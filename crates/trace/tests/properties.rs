@@ -1,0 +1,193 @@
+//! Property-based tests for span extraction and black-box reconstruction.
+
+use fgbd_des::SimTime;
+use fgbd_trace::capture::{read_capture, write_capture};
+use fgbd_trace::reconstruct::{Accuracy, Heuristic, Reconstruction};
+use fgbd_trace::{
+    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, SpanSet, TraceLog, TxnId,
+};
+use proptest::prelude::*;
+
+const CLIENT: NodeId = NodeId(0);
+const WEB: NodeId = NodeId(1);
+const APP: NodeId = NodeId(2);
+
+fn nodes() -> Vec<NodeMeta> {
+    vec![
+        NodeMeta {
+            id: CLIENT,
+            name: "client".into(),
+            kind: NodeKind::Client,
+            tier: None,
+        },
+        NodeMeta {
+            id: WEB,
+            name: "web".into(),
+            kind: NodeKind::Server,
+            tier: Some(0),
+        },
+        NodeMeta {
+            id: APP,
+            name: "app".into(),
+            kind: NodeKind::Server,
+            tier: Some(1),
+        },
+    ]
+}
+
+/// Builds a log of fully serial transactions (one at a time) from random
+/// shape parameters: per txn, a web span containing `calls` app spans.
+fn serial_log(shapes: &[(u8, u16)]) -> TraceLog {
+    let mut log = TraceLog::new(nodes());
+    let mut t = 0u64;
+    for (i, &(calls, class)) in shapes.iter().enumerate() {
+        let txn = TxnId(i as u64);
+        let conn = ConnId(10);
+        let mk = |at: u64, src: NodeId, dst: NodeId, kind: MsgKind, conn: ConnId, class: u16| {
+            MsgRecord {
+                at: SimTime::from_micros(at),
+                src,
+                dst,
+                kind,
+                conn,
+                class: ClassId(class),
+                bytes: 100,
+                truth: Some(txn),
+            }
+        };
+        log.push(mk(t, CLIENT, WEB, MsgKind::Request, conn, class));
+        t += 5;
+        for _ in 0..calls {
+            let cc = ConnId(100);
+            log.push(mk(t, WEB, APP, MsgKind::Request, cc, class));
+            t += 7;
+            log.push(mk(t, APP, WEB, MsgKind::Response, cc, class));
+            t += 3;
+        }
+        log.push(mk(t, WEB, CLIENT, MsgKind::Response, conn, class));
+        t += 11;
+    }
+    log
+}
+
+proptest! {
+    /// Span extraction conserves messages: every request/response pair
+    /// becomes exactly one span; span count equals response count.
+    #[test]
+    fn extraction_conserves_pairs(shapes in prop::collection::vec((0u8..6, 0u16..4), 1..30)) {
+        let log = serial_log(&shapes);
+        let spans = SpanSet::extract(&log);
+        let responses = log
+            .records
+            .iter()
+            .filter(|r| r.kind == MsgKind::Response)
+            .count();
+        prop_assert_eq!(spans.len(), responses);
+        prop_assert!(spans.unmatched.is_empty());
+        // Every span is causally ordered and attributed to a server node.
+        for node in spans.servers() {
+            for s in spans.server(node) {
+                prop_assert!(s.departure > s.arrival);
+            }
+        }
+    }
+
+    /// Serial transactions reconstruct perfectly under every heuristic.
+    #[test]
+    fn serial_reconstruction_is_exact(shapes in prop::collection::vec((0u8..6, 0u16..4), 1..25)) {
+        let log = serial_log(&shapes);
+        for h in [
+            Heuristic::LongestQuiescent,
+            Heuristic::MostRecent,
+            Heuristic::Fifo,
+            Heuristic::ProfileGuided,
+        ] {
+            let rec = Reconstruction::run(&log, h);
+            prop_assert_eq!(rec.txns.len(), shapes.len());
+            let acc = Accuracy::evaluate(&rec);
+            prop_assert_eq!(acc.edge_accuracy, 1.0);
+            prop_assert_eq!(acc.txn_accuracy, 1.0);
+        }
+    }
+
+    /// Reconstruction decisions are identical on the blinded capture —
+    /// ground truth can never leak into attribution.
+    #[test]
+    fn attribution_is_truth_blind(shapes in prop::collection::vec((0u8..5, 0u16..3), 1..15)) {
+        let log = serial_log(&shapes);
+        let a = Reconstruction::run(&log, Heuristic::ProfileGuided);
+        let b = Reconstruction::run(&log.blinded(), Heuristic::ProfileGuided);
+        let pa: Vec<Option<usize>> = a.spans.iter().map(|s| s.parent).collect();
+        let pb: Vec<Option<usize>> = b.spans.iter().map(|s| s.parent).collect();
+        prop_assert_eq!(pa, pb);
+    }
+
+    /// Every reconstructed span's root is a fixed point of the parent
+    /// chain, and txn membership is consistent.
+    #[test]
+    fn parent_chains_terminate_at_roots(shapes in prop::collection::vec((0u8..6, 0u16..4), 1..20)) {
+        let log = serial_log(&shapes);
+        let rec = Reconstruction::run(&log, Heuristic::LongestQuiescent);
+        for (i, s) in rec.spans.iter().enumerate() {
+            // Walk the chain to a root.
+            let mut cur = i;
+            let mut hops = 0;
+            while let Some(p) = rec.spans[cur].parent {
+                cur = p;
+                hops += 1;
+                prop_assert!(hops <= rec.spans.len(), "parent cycle at span {}", i);
+            }
+            prop_assert_eq!(cur, s.root);
+        }
+        for (t, txn) in rec.txns.iter().enumerate() {
+            let _ = t;
+            for &m in &txn.spans {
+                prop_assert_eq!(rec.spans[m].root, txn.root);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Capture serialization is a lossless roundtrip for arbitrary logs.
+    #[test]
+    fn capture_roundtrip(shapes in prop::collection::vec((0u8..6, 0u16..4), 0..25)) {
+        let log = serial_log(&shapes);
+        let mut buf = Vec::new();
+        write_capture(&mut buf, &log).expect("write");
+        let back = read_capture(buf.as_slice()).expect("read");
+        prop_assert_eq!(back.nodes, log.nodes);
+        prop_assert_eq!(back.records, log.records);
+    }
+
+    /// Any truncation of a valid capture is rejected, never mis-decoded.
+    #[test]
+    fn capture_truncation_always_detected(
+        shapes in prop::collection::vec((0u8..4, 0u16..3), 1..10),
+        frac in 0.0f64..1.0,
+    ) {
+        let log = serial_log(&shapes);
+        let mut buf = Vec::new();
+        write_capture(&mut buf, &log).expect("write");
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        prop_assert!(read_capture(&buf[..cut]).is_err());
+    }
+
+    /// Slicing by time then extracting spans equals extracting then
+    /// filtering by span arrival (for spans fully inside the slice).
+    #[test]
+    fn time_slice_consistency(shapes in prop::collection::vec((0u8..4, 0u16..3), 1..15)) {
+        let log = serial_log(&shapes);
+        let Some(last) = log.records.last().map(|r| r.at) else {
+            return Ok(());
+        };
+        let mid = SimTime::from_micros(last.as_micros() / 2);
+        let sliced = log.slice_time(SimTime::ZERO, mid);
+        prop_assert!(sliced.records.iter().all(|r| r.at < mid));
+        prop_assert!(sliced.records.len() <= log.records.len());
+        // Node slicing partitions sanely: web-touching + app-only covers all.
+        let web = log.slice_node(WEB);
+        let all_touch_web = web.records.iter().all(|r| r.src == WEB || r.dst == WEB);
+        prop_assert!(all_touch_web);
+    }
+}
