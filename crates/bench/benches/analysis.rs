@@ -6,9 +6,11 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use fgbd_core::detect::{analyze_server, DetectorConfig};
+use fgbd_core::interval::{auto_interval, IntervalSelectConfig};
 use fgbd_core::nstar::{self, NStarConfig};
 use fgbd_core::plateau::{find_plateaus, PlateauConfig};
-use fgbd_core::series::{LoadSeries, ThroughputSeries, Window};
+use fgbd_core::series::{reference, LoadSeries, SeriesSet, ThroughputSeries, Window};
+use fgbd_core::stats;
 use fgbd_des::{Dice, SimDuration, SimTime};
 use fgbd_trace::capture::{read_capture, write_capture};
 use fgbd_trace::servicetime::ServiceTimeTable;
@@ -77,6 +79,159 @@ fn bench_series(c: &mut Criterion) {
     });
 }
 
+/// 60 s of ~1,000 req/s background traffic plus stop-the-world freezes:
+/// every second a pause parks ~200 in-flight requests for ~3 s. Each parked
+/// span crosses ~300 intervals of a 10 ms grid, so the naive per-interval
+/// walk pays `residence / interval` per span while the sweep-line builder
+/// pays O(1) — the workload where the asymptotic gap shows.
+fn gc_freeze_spans(seed: u64) -> Vec<Span> {
+    let mut dice = Dice::seed(seed);
+    let mut spans = Vec::new();
+    let horizon_us = 60_000_000u64;
+    let mut t = 0u64;
+    let mut next_freeze = 1_000_000u64;
+    while t < horizon_us {
+        if t >= next_freeze {
+            for _ in 0..200 {
+                let arrival = t + dice.index(50_000) as u64;
+                let residence = 2_500_000 + dice.index(1_000_000) as u64;
+                spans.push(Span {
+                    server: NodeId(1),
+                    class: ClassId(dice.index(8) as u16),
+                    arrival: SimTime::from_micros(arrival),
+                    departure: SimTime::from_micros(arrival + residence),
+                    conn: ConnId(0),
+                    truth: None,
+                });
+            }
+            next_freeze += 1_000_000;
+        }
+        let service_us = (dice.exp(1_500.0)) as u64 + 100;
+        spans.push(Span {
+            server: NodeId(1),
+            class: ClassId(dice.index(8) as u16),
+            arrival: SimTime::from_micros(t),
+            departure: SimTime::from_micros(t + service_us),
+            conn: ConnId(0),
+            truth: None,
+        });
+        t += 1_000;
+    }
+    spans
+}
+
+/// Sweep-line vs the naive per-interval reference on the finest paper grid
+/// (10 ms over 60 s = 6,000 intervals) under the GC-freeze workload, plus
+/// the fused one-pass `SeriesSet` against two separate builds.
+fn bench_sweep_vs_reference(c: &mut Criterion) {
+    let spans = gc_freeze_spans(17);
+    let window = Window::new(
+        SimTime::ZERO,
+        SimTime::from_secs(60),
+        SimDuration::from_millis(10),
+    );
+    let svc = services();
+    let wu = SimDuration::from_micros(400);
+    let mut group = c.benchmark_group("series_10ms_gc_freeze");
+    group.bench_function("sweep_load", |b| {
+        b.iter(|| LoadSeries::from_spans(black_box(&spans), window));
+    });
+    group.bench_function("reference_load", |b| {
+        b.iter(|| reference::load_series(black_box(&spans), window));
+    });
+    group.bench_function("sweep_tput", |b| {
+        b.iter(|| ThroughputSeries::from_spans(black_box(&spans), window, &svc, wu));
+    });
+    group.bench_function("reference_tput", |b| {
+        b.iter(|| reference::throughput_series(black_box(&spans), window, &svc, wu));
+    });
+    group.bench_function("fused_series_set", |b| {
+        b.iter(|| SeriesSet::from_spans(black_box(&spans), window, &svc, wu));
+    });
+    group.bench_function("separate_load_plus_tput", |b| {
+        b.iter(|| {
+            (
+                LoadSeries::from_spans(black_box(&spans), window),
+                ThroughputSeries::from_spans(black_box(&spans), window, &svc, wu),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// The old interval-selection inner loop: build every candidate grid from
+/// the spans directly, then score it exactly like `auto_interval` does.
+/// Kept here as the baseline the coarsening path is measured against.
+fn auto_interval_rebuild_baseline(
+    spans: &[Span],
+    start: SimTime,
+    end: SimTime,
+    svc: &ServiceTimeTable,
+    wu: SimDuration,
+    cfg: &IntervalSelectConfig,
+) -> Option<SimDuration> {
+    let mut finest_peak: Option<f64> = None;
+    let mut best: Option<(f64, f64, SimDuration)> = None;
+    let mut chosen: Option<SimDuration> = None;
+    for &interval in &cfg.candidates {
+        let window = Window::new(start, end, interval);
+        if window.len() < 20 {
+            continue;
+        }
+        let set = SeriesSet::from_spans(spans, window, svc, wu);
+        let (load, tput) = (set.load(), set.tput());
+        let peak = load.values().iter().copied().fold(0.0, f64::max);
+        if finest_peak.is_none() {
+            finest_peak = Some(peak);
+        }
+        let retention = match finest_peak {
+            Some(p) if p > 0.0 => peak / p,
+            _ => 1.0,
+        };
+        let mut order: Vec<usize> = (0..load.len()).collect();
+        order.sort_by(|&a, &b| load.get(b).partial_cmp(&load.get(a)).expect("finite"));
+        let busy_n = ((load.len() as f64 * cfg.busy_fraction).ceil() as usize).max(5);
+        let busy_tputs: Vec<f64> = order
+            .iter()
+            .take(busy_n)
+            .map(|&i| tput.unit_rate(i))
+            .filter(|&t| t > 0.0)
+            .collect();
+        if busy_tputs.len() < 5 {
+            continue;
+        }
+        let noise = stats::std_dev(&busy_tputs) / stats::mean(&busy_tputs).max(1e-9);
+        if chosen.is_none() && noise <= cfg.max_noise {
+            chosen = Some(interval);
+        }
+        let balance = noise + (1.0 - retention);
+        if best.is_none_or(|(b, _, _)| balance < b) {
+            best = Some((balance, noise, interval));
+        }
+    }
+    chosen.or(best.map(|(_, _, i)| i))
+}
+
+/// Interval selection over the default 7-candidate ladder: the shipping
+/// `auto_interval` (one fine build + exact coarsening) against the
+/// rebuild-every-candidate baseline.
+fn bench_interval_selection(c: &mut Criterion) {
+    let spans = gc_freeze_spans(19);
+    let svc = services();
+    let wu = SimDuration::from_micros(400);
+    let cfg = IntervalSelectConfig::default();
+    let (start, end) = (SimTime::ZERO, SimTime::from_secs(60));
+    let mut group = c.benchmark_group("interval_selection");
+    group.sample_size(20);
+    group.bench_function("auto_interval_coarsen", |b| {
+        b.iter(|| auto_interval(black_box(&spans), start, end, &svc, wu, &cfg));
+    });
+    group.bench_function("rebuild_each_candidate", |b| {
+        b.iter(|| auto_interval_rebuild_baseline(black_box(&spans), start, end, &svc, wu, &cfg));
+    });
+    group.finish();
+}
+
 fn bench_nstar(c: &mut Criterion) {
     // Pre-computed (load, tput) samples with a knee.
     let n = 10_000;
@@ -89,7 +244,13 @@ fn bench_nstar(c: &mut Criterion) {
         tputs.push(tp * (1.0 + 0.05 * (((i * 40_503) % 100) as f64 / 100.0 - 0.5)));
     }
     c.bench_function("nstar_estimate_10k_samples", |b| {
-        b.iter(|| nstar::estimate(black_box(&loads), black_box(&tputs), &NStarConfig::default()));
+        b.iter(|| {
+            nstar::estimate(
+                black_box(&loads),
+                black_box(&tputs),
+                &NStarConfig::default(),
+            )
+        });
     });
 }
 
@@ -184,6 +345,8 @@ fn bench_capture(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_series,
+    bench_sweep_vs_reference,
+    bench_interval_selection,
     bench_nstar,
     bench_detector,
     bench_plateau,

@@ -34,11 +34,7 @@ fn detect_pipeline(users: u32, jdk: Jdk, speedstep: bool, server: &str) -> usize
         wu,
         &DetectorConfig::default(),
     );
-    let congested: Vec<f64> = report
-        .congested_samples()
-        .iter()
-        .map(|&(_, t)| t)
-        .collect();
+    let congested: Vec<f64> = report.congested_samples().iter().map(|&(_, t)| t).collect();
     report.congested_intervals() + find_plateaus(&congested, &PlateauConfig::default()).len()
 }
 

@@ -9,7 +9,7 @@ use fgbd_trace::{NodeId, Span};
 use serde::{Deserialize, Serialize};
 
 use crate::nstar::{self, NStar, NStarConfig};
-use crate::series::{LoadSeries, ThroughputSeries, Window};
+use crate::series::{LoadSeries, SeriesSet, ThroughputSeries, Window};
 
 /// Detector parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -198,8 +198,9 @@ pub fn analyze_server(
     work_unit: SimDuration,
     cfg: &DetectorConfig,
 ) -> ServerReport {
-    let load = LoadSeries::from_spans(spans, window);
-    let tput = ThroughputSeries::from_spans(spans, window, services, work_unit);
+    // One fused pass over the spans builds both series (see `SeriesSet`).
+    let set = SeriesSet::from_spans(spans, window, services, work_unit);
+    let (load, tput) = (set.load(), set.tput());
     let rates = tput.unit_rates();
     // Drop freeze outliers (near-zero output at non-idle load) before
     // fitting the main sequence curve.

@@ -25,7 +25,7 @@ use fgbd_trace::servicetime::ServiceTimeTable;
 use fgbd_trace::Span;
 use serde::{Deserialize, Serialize};
 
-use crate::series::{LoadSeries, ThroughputSeries, Window};
+use crate::series::{SeriesSet, Window};
 use crate::stats;
 
 /// Parameters of the interval selector.
@@ -102,19 +102,40 @@ pub fn auto_interval(
         cfg.max_noise > 0.0 && cfg.busy_fraction > 0.0,
         "thresholds must be positive"
     );
+    if end <= start {
+        return None;
+    }
+
+    // Build the series once at the finest candidate; every coarser
+    // candidate whose length is a multiple derives its series by exact
+    // integer aggregation (bit-identical to a direct build, see
+    // `SeriesSet::coarsen`), so the span list is walked once instead of
+    // once per candidate. Non-multiple candidates fall back to a direct
+    // build.
+    let base_interval = cfg.candidates[0];
+    let base = SeriesSet::from_spans(
+        spans,
+        Window::new(start, end, base_interval),
+        services,
+        work_unit,
+    );
 
     let mut scores = Vec::with_capacity(cfg.candidates.len());
     let mut finest_peak: Option<f64> = None;
     for &interval in &cfg.candidates {
-        if end <= start {
-            return None;
-        }
         let window = Window::new(start, end, interval);
         if window.len() < 20 {
             continue;
         }
-        let load = LoadSeries::from_spans(spans, window);
-        let tput = ThroughputSeries::from_spans(spans, window, services, work_unit);
+        let (load, tput) = if interval == base_interval {
+            (base.load(), base.tput())
+        } else if interval.as_micros() % base_interval.as_micros() == 0 {
+            let set = base.coarsen((interval.as_micros() / base_interval.as_micros()) as usize);
+            (set.load(), set.tput())
+        } else {
+            let set = SeriesSet::from_spans(spans, window, services, work_unit);
+            (set.load(), set.tput())
+        };
         let peak = load.values().iter().copied().fold(0.0, f64::max);
         if finest_peak.is_none() {
             finest_peak = Some(peak);
@@ -234,8 +255,14 @@ mod tests {
         // interval length; retention falls too.
         let noises: Vec<f64> = sel.scores.iter().map(|s| s.noise).collect();
         let rets: Vec<f64> = sel.scores.iter().map(|s| s.peak_retention).collect();
-        assert!(noises.first() > noises.last(), "noise did not shrink: {noises:?}");
-        assert!(rets.first() > rets.last(), "retention did not shrink: {rets:?}");
+        assert!(
+            noises.first() > noises.last(),
+            "noise did not shrink: {noises:?}"
+        );
+        assert!(
+            rets.first() > rets.last(),
+            "retention did not shrink: {rets:?}"
+        );
     }
 
     #[test]
@@ -286,7 +313,12 @@ mod tests {
             },
         )
         .expect("selection");
-        assert!(lax.chosen <= strict.chosen, "lax {} strict {}", lax.chosen, strict.chosen);
+        assert!(
+            lax.chosen <= strict.chosen,
+            "lax {} strict {}",
+            lax.chosen,
+            strict.chosen
+        );
     }
 
     #[test]

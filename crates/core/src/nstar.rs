@@ -162,7 +162,7 @@ pub fn estimate_two_segment(loads: &[f64], tputs: &[f64], cfg: &NStarConfig) -> 
         return None;
     }
     let mut best: Option<(f64, usize, f64, f64)> = None; // (sse, knee, nstar, tpmax)
-    // Candidate knees at each interior curve point.
+                                                         // Candidate knees at each interior curve point.
     for k in 1..curve.len() - 1 {
         let nstar = curve[k].0;
         // TP_max = mean of the plateau segment.
@@ -355,7 +355,10 @@ pub fn median_curve_bins(loads: &[f64], tputs: &[f64], cfg: &NStarConfig) -> Vec
     if finite.is_empty() {
         return Vec::new();
     }
-    let lmin = finite.iter().map(|&i| loads[i]).fold(f64::INFINITY, f64::min);
+    let lmin = finite
+        .iter()
+        .map(|&i| loads[i])
+        .fold(f64::INFINITY, f64::min);
     let lmax = finite
         .iter()
         .map(|&i| loads[i])
@@ -390,7 +393,10 @@ pub fn curve_bins(loads: &[f64], tputs: &[f64], cfg: &NStarConfig) -> Vec<(f64, 
     if finite.is_empty() {
         return Vec::new();
     }
-    let lmin = finite.iter().map(|&i| loads[i]).fold(f64::INFINITY, f64::min);
+    let lmin = finite
+        .iter()
+        .map(|&i| loads[i])
+        .fold(f64::INFINITY, f64::min);
     let lmax = finite
         .iter()
         .map(|&i| loads[i])
@@ -442,7 +448,11 @@ mod tests {
             "nstar {} should be just above 10",
             est.nstar
         );
-        assert!((est.tp_max - 4_000.0).abs() < 150.0, "tp_max {}", est.tp_max);
+        assert!(
+            (est.tp_max - 4_000.0).abs() < 150.0,
+            "tp_max {}",
+            est.tp_max
+        );
         assert!(est.curve.len() > 50);
         assert_eq!(est.slopes.len(), est.curve.len());
     }
@@ -501,10 +511,14 @@ mod tests {
     fn curve_bins_orders_by_load() {
         let loads = vec![5.0, 1.0, 3.0, 9.0, 7.0];
         let tputs = vec![50.0, 10.0, 30.0, 90.0, 70.0];
-        let curve = curve_bins(&loads, &tputs, &NStarConfig {
-            bins: 4,
-            ..NStarConfig::default()
-        });
+        let curve = curve_bins(
+            &loads,
+            &tputs,
+            &NStarConfig {
+                bins: 4,
+                ..NStarConfig::default()
+            },
+        );
         assert!(curve.windows(2).all(|w| w[0].0 < w[1].0));
         assert_eq!(curve.len(), 4);
     }
@@ -518,14 +532,23 @@ mod tests {
     #[test]
     fn bootstrap_brackets_the_knee() {
         let (loads, tputs) = synthetic_samples(10.0, 4_000.0, 50.0, 3_000);
-        let boot = estimate_bootstrap(&loads, &tputs, &NStarConfig::default(), 60, 7)
-            .expect("bootstrap");
+        let boot =
+            estimate_bootstrap(&loads, &tputs, &NStarConfig::default(), 60, 7).expect("bootstrap");
         assert!(boot.success_rate > 0.9, "success {}", boot.success_rate);
-        assert!(boot.lo95 <= boot.point && boot.point <= boot.hi95 + 1.0,
-            "point {} outside [{}, {}]", boot.point, boot.lo95, boot.hi95);
+        assert!(
+            boot.lo95 <= boot.point && boot.point <= boot.hi95 + 1.0,
+            "point {} outside [{}, {}]",
+            boot.point,
+            boot.lo95,
+            boot.hi95
+        );
         // The interval straddles the true knee region.
-        assert!(boot.lo95 > 5.0 && boot.hi95 < 20.0,
-            "CI [{}, {}] too loose", boot.lo95, boot.hi95);
+        assert!(
+            boot.lo95 > 5.0 && boot.hi95 < 20.0,
+            "CI [{}, {}] too loose",
+            boot.lo95,
+            boot.hi95
+        );
     }
 
     #[test]
@@ -541,7 +564,12 @@ mod tests {
         let a = estimate(&loads, &tputs, &NStarConfig::default()).expect("paper estimator");
         let b = estimate_two_segment(&loads, &tputs, &NStarConfig::default())
             .expect("two-segment estimator");
-        assert!((a.nstar - b.nstar).abs() < 3.0, "{} vs {}", a.nstar, b.nstar);
+        assert!(
+            (a.nstar - b.nstar).abs() < 3.0,
+            "{} vs {}",
+            a.nstar,
+            b.nstar
+        );
         assert!((a.tp_max - b.tp_max).abs() < 200.0);
         // The LSQ knee is at worst one curve point off the true knee.
         assert!(b.nstar > 8.0 && b.nstar < 13.0, "lsq nstar {}", b.nstar);
@@ -562,8 +590,8 @@ mod tests {
             loads.push(30.0 + (i % 20) as f64);
             tputs.push(1.0);
         }
-        let med = estimate_median(&loads, &tputs, &NStarConfig::default())
-            .expect("median estimator");
+        let med =
+            estimate_median(&loads, &tputs, &NStarConfig::default()).expect("median estimator");
         assert!(
             med.nstar > 8.0 && med.nstar < 15.0,
             "median nstar {} dragged by outliers",

@@ -183,11 +183,7 @@ mod tests {
         let spans: Vec<Span> = (0..100)
             .map(|i| span(i * 20_000, i * 20_000 + 10_000))
             .collect();
-        let q = OperationalQuantities::measure(
-            &spans,
-            SimTime::ZERO,
-            SimTime::from_millis(2_000),
-        );
+        let q = OperationalQuantities::measure(&spans, SimTime::ZERO, SimTime::from_millis(2_000));
         assert!((q.mean_load - 0.5).abs() < 1e-9);
         assert!((q.throughput - 50.0).abs() < 1e-9);
         assert!((q.mean_residence - 0.010).abs() < 1e-12);
@@ -200,11 +196,7 @@ mod tests {
         // (its completion falls outside) — the residual is defined and
         // positive but the quantities stay sane.
         let spans = vec![span(900_000, 1_100_000)];
-        let q = OperationalQuantities::measure(
-            &spans,
-            SimTime::ZERO,
-            SimTime::from_secs(1),
-        );
+        let q = OperationalQuantities::measure(&spans, SimTime::ZERO, SimTime::from_secs(1));
         assert!(q.mean_load > 0.0);
         assert_eq!(q.completions, 0);
         assert_eq!(q.mean_residence, 0.0);

@@ -95,9 +95,7 @@ pub fn find_plateaus(values: &[f64], cfg: &PlateauConfig) -> Vec<Plateau> {
     let maxima: Vec<usize> = (0..bins)
         .filter(|&i| {
             let v = smoothed[i];
-            v > 0.0
-                && (i == 0 || smoothed[i - 1] <= v)
-                && (i + 1 == bins || smoothed[i + 1] < v)
+            v > 0.0 && (i == 0 || smoothed[i - 1] <= v) && (i + 1 == bins || smoothed[i + 1] < v)
         })
         .collect();
     if maxima.is_empty() {
@@ -184,7 +182,10 @@ fn nearest(centers: &[f64], v: f64) -> usize {
 /// Panics if `candidates` is empty.
 pub fn match_levels(plateaus: &[Plateau], candidates: &[f64]) -> Vec<usize> {
     assert!(!candidates.is_empty(), "need at least one candidate level");
-    plateaus.iter().map(|p| nearest(candidates, p.level)).collect()
+    plateaus
+        .iter()
+        .map(|p| nearest(candidates, p.level))
+        .collect()
 }
 
 #[cfg(test)]

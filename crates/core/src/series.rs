@@ -7,12 +7,30 @@
 //!   of completed requests and the *normalized* throughput in work units —
 //!   each completed request contributes `service_time / work_unit` units, so
 //!   intervals with different request-class mixes become comparable.
+//!
+//! # Sweep-line construction
+//!
+//! Series are built in `O(S + I)` for `S` spans over `I` intervals. Each
+//! span touches only its first and last overlapped interval directly; the
+//! interior intervals it fully covers are recorded as a `+1/-1` pair in a
+//! difference array and resolved by one prefix-sum pass at the end. The
+//! naive per-span interval walk is `O(S × I)` in the worst case — a single
+//! 3-second GC freeze holds hundreds of 10 ms intervals open, and every
+//! blocked span pays for all of them.
+//!
+//! All accumulation is in integer microseconds; a value only becomes `f64`
+//! through one final division per interval. That makes results independent
+//! of span order, bit-for-bit reproducible, and — because integer sums are
+//! associative — lets a coarse grid be derived *exactly* from a fine one
+//! (see [`SeriesSet::coarsen`]). The straightforward `O(S × I)` versions
+//! are kept in [`reference`] as the executable specification; property
+//! tests assert bit-for-bit agreement.
 
 use fgbd_des::{SimDuration, SimTime};
 use fgbd_trace::servicetime::ServiceTimeTable;
-use fgbd_trace::Span;
 #[cfg(test)]
 use fgbd_trace::NodeId;
+use fgbd_trace::Span;
 
 /// A uniform grid of analysis intervals `[start + i·len, start + (i+1)·len)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +69,13 @@ impl Window {
         self.len() == 0
     }
 
+    /// End of the last whole interval: `start + interval · len()`. At most
+    /// `end`; anything between `grid_end` and `end` is the dropped partial
+    /// trailing interval.
+    pub fn grid_end(&self) -> SimTime {
+        self.start + self.interval * self.len() as u64
+    }
+
     /// The bounds of interval `i`.
     ///
     /// # Panics
@@ -70,6 +95,121 @@ impl Window {
     }
 }
 
+/// Sweep-line accumulator for per-interval overlap microseconds (the load
+/// numerator): direct adds at a span's boundary intervals, a difference
+/// array for the fully covered interior.
+struct LoadAcc {
+    start_us: u64,
+    grid_end_us: u64,
+    ilen_us: u64,
+    overlap_us: Vec<u64>,
+    /// `full_diff[i] - full_diff[i-1]` spans fully covering interval `i`;
+    /// one extra slot so `last` can be decremented unconditionally.
+    full_diff: Vec<i64>,
+}
+
+impl LoadAcc {
+    fn new(window: Window) -> LoadAcc {
+        let n = window.len();
+        LoadAcc {
+            start_us: window.start.as_micros(),
+            grid_end_us: window.grid_end().as_micros(),
+            ilen_us: window.interval.as_micros(),
+            overlap_us: vec![0u64; n],
+            full_diff: vec![0i64; n + 1],
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, span: &Span) {
+        let a = span.arrival.as_micros().max(self.start_us);
+        let d = span.departure.as_micros().min(self.grid_end_us);
+        if d <= a {
+            return;
+        }
+        let rel_a = a - self.start_us;
+        let rel_d = d - self.start_us;
+        let first = (rel_a / self.ilen_us) as usize;
+        let last = ((rel_d - 1) / self.ilen_us) as usize;
+        if first == last {
+            self.overlap_us[first] += rel_d - rel_a;
+        } else {
+            self.overlap_us[first] += (first as u64 + 1) * self.ilen_us - rel_a;
+            self.overlap_us[last] += rel_d - last as u64 * self.ilen_us;
+            self.full_diff[first + 1] += 1;
+            self.full_diff[last] -= 1;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u64> {
+        let mut covering = 0i64;
+        for (i, v) in self.overlap_us.iter_mut().enumerate() {
+            covering += self.full_diff[i];
+            *v += covering as u64 * self.ilen_us;
+        }
+        self.overlap_us
+    }
+}
+
+/// Accumulator for per-interval completion counts and service microseconds
+/// (the normalized-throughput numerator), indexed by departure interval.
+struct TputAcc {
+    start_us: u64,
+    grid_end_us: u64,
+    ilen_us: u64,
+    wu_us: u64,
+    counts: Vec<u32>,
+    service_us: Vec<u64>,
+}
+
+impl TputAcc {
+    fn new(window: Window, work_unit: SimDuration) -> TputAcc {
+        assert!(!work_unit.is_zero(), "work unit must be positive");
+        let n = window.len();
+        TputAcc {
+            start_us: window.start.as_micros(),
+            grid_end_us: window.grid_end().as_micros(),
+            ilen_us: window.interval.as_micros(),
+            wu_us: work_unit.as_micros(),
+            counts: vec![0u32; n],
+            service_us: vec![0u64; n],
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, span: &Span, services: &ServiceTimeTable) {
+        let dep = span.departure.as_micros();
+        if dep < self.start_us || dep >= self.grid_end_us {
+            return;
+        }
+        let i = ((dep - self.start_us) / self.ilen_us) as usize;
+        self.counts[i] += 1;
+        let service_us = services
+            .get(span.server, span.class)
+            .map(|s| s.as_micros())
+            .unwrap_or_else(|| span.residence().as_micros().min(self.wu_us));
+        self.service_us[i] += service_us;
+    }
+}
+
+/// Materializes integer overlap sums into per-interval loads with one
+/// division each — the only place an `f64` is produced.
+fn load_values(overlap_us: &[u64], ilen_us: u64) -> Vec<f64> {
+    overlap_us
+        .iter()
+        .map(|&us| us as f64 / ilen_us as f64)
+        .collect()
+}
+
+/// Materializes integer service-time sums into work units, one division per
+/// interval.
+fn unit_values(service_us: &[u64], wu_us: u64) -> Vec<f64> {
+    service_us
+        .iter()
+        .map(|&us| us as f64 / wu_us as f64)
+        .collect()
+}
+
 /// Time-weighted concurrent-request counts per interval.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadSeries {
@@ -80,38 +220,17 @@ pub struct LoadSeries {
 impl LoadSeries {
     /// Computes the load of a server over `window` from its spans
     /// (paper Fig 6: the average of the concurrency step function over each
-    /// interval).
+    /// interval) in `O(spans + intervals)`.
     pub fn from_spans(spans: &[Span], window: Window) -> LoadSeries {
-        let n = window.len();
-        let mut values = vec![0.0; n];
-        let ilen_us = window.interval.as_micros();
-        let ilen_s = window.interval.as_secs_f64();
+        let mut acc = LoadAcc::new(window);
         for s in spans {
-            if s.departure <= window.start || s.arrival >= window.end {
-                continue;
-            }
-            let a = s.arrival.max(window.start);
-            let d = s.departure.min(window.end);
-            let first = ((a - window.start).as_micros() / ilen_us) as usize;
-            let last = (((d - window.start).as_micros().saturating_sub(1)) / ilen_us) as usize;
-            for (i, v) in values
-                .iter_mut()
-                .enumerate()
-                .take((last + 1).min(n))
-                .skip(first)
-            {
-                let (from, to) = (
-                    window.start + window.interval * i as u64,
-                    window.start + window.interval * (i as u64 + 1),
-                );
-                let ov_from = a.max(from);
-                let ov_to = d.min(to);
-                if ov_to > ov_from {
-                    *v += (ov_to - ov_from).as_secs_f64() / ilen_s;
-                }
-            }
+            acc.add(s);
         }
-        LoadSeries { window, values }
+        let ilen_us = window.interval.as_micros();
+        LoadSeries {
+            window,
+            values: load_values(&acc.finish(), ilen_us),
+        }
     }
 
     /// The grid this series lives on.
@@ -150,15 +269,19 @@ pub struct ThroughputSeries {
 }
 
 impl ThroughputSeries {
-    /// Computes both throughput variants over `window`.
+    /// Computes both throughput variants over `window` in
+    /// `O(spans + intervals)`.
     ///
     /// `services` supplies per-class service times, looked up per span by
     /// its own `(server, class)` — so `spans` may mix servers (tier-level
     /// aggregation). `work_unit` is the common divisor the units are
     /// expressed in (see [`ServiceTimeTable::work_unit`]). A span whose
-    /// class has no service estimate contributes one work unit per
-    /// `work_unit` of residence — in practice every class seen in the
-    /// analysis window was also seen during calibration.
+    /// class has no service estimate contributes its own residence *capped
+    /// at one work unit* — the residence of an unknown class is the only
+    /// available stand-in for its service time, and the cap keeps a queued
+    /// (residence ≫ service) outlier from inflating the interval; in
+    /// practice every class seen in the analysis window was also seen
+    /// during calibration.
     ///
     /// # Panics
     ///
@@ -169,31 +292,15 @@ impl ThroughputSeries {
         services: &ServiceTimeTable,
         work_unit: SimDuration,
     ) -> ThroughputSeries {
-        assert!(!work_unit.is_zero(), "work unit must be positive");
-        let n = window.len();
-        let mut counts = vec![0u32; n];
-        let mut units = vec![0.0; n];
-        let wu = work_unit.as_secs_f64();
-        let ilen_us = window.interval.as_micros();
+        let mut acc = TputAcc::new(window, work_unit);
         for s in spans {
-            if s.departure < window.start || s.departure >= window.end {
-                continue;
-            }
-            let i = ((s.departure - window.start).as_micros() / ilen_us) as usize;
-            if i >= n {
-                continue;
-            }
-            counts[i] += 1;
-            let service = services
-                .get_secs(s.server, s.class)
-                .unwrap_or_else(|| wu.max(s.residence().as_secs_f64().min(wu)));
-            units[i] += service / wu;
+            acc.add(s, services);
         }
         ThroughputSeries {
             window,
-            counts,
-            units,
-            work_unit_s: wu,
+            units: unit_values(&acc.service_us, acc.wu_us),
+            counts: acc.counts,
+            work_unit_s: work_unit.as_secs_f64(),
         }
     }
 
@@ -262,6 +369,191 @@ impl ThroughputSeries {
     }
 }
 
+/// Load, counts, and work units over one grid, built in a single pass over
+/// the spans and kept as raw integer-microsecond accumulators.
+///
+/// Holding the integers (instead of materialized `f64` series) is what
+/// makes [`SeriesSet::coarsen`] exact: a coarse interval's accumulator is
+/// the *sum* of its nested fine accumulators, and the one `f64` division
+/// happens only at materialization — so a coarsened series is bit-for-bit
+/// the series that [`SeriesSet::from_spans`] would compute directly on the
+/// coarse grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSet {
+    window: Window,
+    overlap_us: Vec<u64>,
+    counts: Vec<u32>,
+    service_us: Vec<u64>,
+    work_unit: SimDuration,
+}
+
+impl SeriesSet {
+    /// Builds load and throughput accumulators in one pass over `spans`
+    /// (`O(spans + intervals)`), sharing the span decode and branch
+    /// predictor between the two updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_unit` is zero.
+    pub fn from_spans(
+        spans: &[Span],
+        window: Window,
+        services: &ServiceTimeTable,
+        work_unit: SimDuration,
+    ) -> SeriesSet {
+        let mut load = LoadAcc::new(window);
+        let mut tput = TputAcc::new(window, work_unit);
+        for s in spans {
+            load.add(s);
+            tput.add(s, services);
+        }
+        SeriesSet {
+            window,
+            overlap_us: load.finish(),
+            counts: tput.counts,
+            service_us: tput.service_us,
+            work_unit,
+        }
+    }
+
+    /// The grid this set lives on.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// Materializes the load series.
+    pub fn load(&self) -> LoadSeries {
+        LoadSeries {
+            window: self.window,
+            values: load_values(&self.overlap_us, self.window.interval.as_micros()),
+        }
+    }
+
+    /// Materializes the throughput series.
+    pub fn tput(&self) -> ThroughputSeries {
+        ThroughputSeries {
+            window: self.window,
+            counts: self.counts.clone(),
+            units: unit_values(&self.service_us, self.work_unit.as_micros()),
+            work_unit_s: self.work_unit.as_secs_f64(),
+        }
+    }
+
+    /// Derives the set for the grid with `factor`-times-longer intervals by
+    /// exact integer aggregation: coarse interval `j` sums fine intervals
+    /// `[j·factor, (j+1)·factor)`. Bit-for-bit equal to building the coarse
+    /// grid from the spans directly, at `O(intervals)` instead of
+    /// `O(spans + intervals)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn coarsen(&self, factor: usize) -> SeriesSet {
+        assert!(factor > 0, "coarsening factor must be positive");
+        let coarse_window = Window {
+            start: self.window.start,
+            end: self.window.end,
+            interval: self.window.interval * factor as u64,
+        };
+        // Floor division nests: len(k·i) == len(i) / k, so every coarse
+        // interval is exactly `factor` fine intervals.
+        let n = coarse_window.len();
+        debug_assert_eq!(n, self.overlap_us.len() / factor);
+        let sum_chunk = |v: &[u64]| -> Vec<u64> {
+            v.chunks_exact(factor)
+                .take(n)
+                .map(|c| c.iter().sum())
+                .collect()
+        };
+        SeriesSet {
+            window: coarse_window,
+            overlap_us: sum_chunk(&self.overlap_us),
+            counts: self
+                .counts
+                .chunks_exact(factor)
+                .take(n)
+                .map(|c| c.iter().sum())
+                .collect(),
+            service_us: sum_chunk(&self.service_us),
+            work_unit: self.work_unit,
+        }
+    }
+}
+
+/// Straightforward `O(spans × intervals)` constructions — the executable
+/// specification the sweep-line engine is tested against (and benchmarked
+/// over). Accumulation is in the same integer microseconds with the same
+/// final division, so agreement is bit-for-bit, not within-epsilon.
+pub mod reference {
+    use super::*;
+
+    /// Naive per-span interval walk for [`LoadSeries`].
+    pub fn load_series(spans: &[Span], window: Window) -> LoadSeries {
+        let n = window.len();
+        let mut overlap_us = vec![0u64; n];
+        let start_us = window.start.as_micros();
+        let grid_end_us = window.grid_end().as_micros();
+        let ilen_us = window.interval.as_micros();
+        for s in spans {
+            let a = s.arrival.as_micros().max(start_us);
+            let d = s.departure.as_micros().min(grid_end_us);
+            if d <= a {
+                continue;
+            }
+            let first = ((a - start_us) / ilen_us) as usize;
+            let last = ((d - start_us - 1) / ilen_us) as usize;
+            for (i, v) in overlap_us.iter_mut().enumerate().take(last + 1).skip(first) {
+                let from = start_us + ilen_us * i as u64;
+                let to = from + ilen_us;
+                let ov_from = a.max(from);
+                let ov_to = d.min(to);
+                if ov_to > ov_from {
+                    *v += ov_to - ov_from;
+                }
+            }
+        }
+        LoadSeries {
+            window,
+            values: load_values(&overlap_us, ilen_us),
+        }
+    }
+
+    /// Naive per-span construction of [`ThroughputSeries`].
+    pub fn throughput_series(
+        spans: &[Span],
+        window: Window,
+        services: &ServiceTimeTable,
+        work_unit: SimDuration,
+    ) -> ThroughputSeries {
+        assert!(!work_unit.is_zero(), "work unit must be positive");
+        let n = window.len();
+        let mut counts = vec![0u32; n];
+        let mut service_us = vec![0u64; n];
+        let start_us = window.start.as_micros();
+        let grid_end_us = window.grid_end().as_micros();
+        let ilen_us = window.interval.as_micros();
+        let wu_us = work_unit.as_micros();
+        for s in spans {
+            let dep = s.departure.as_micros();
+            if dep < start_us || dep >= grid_end_us {
+                continue;
+            }
+            let i = ((dep - start_us) / ilen_us) as usize;
+            counts[i] += 1;
+            service_us[i] += services
+                .get(s.server, s.class)
+                .map(|d| d.as_micros())
+                .unwrap_or_else(|| s.residence().as_micros().min(wu_us));
+        }
+        ThroughputSeries {
+            window,
+            counts,
+            units: unit_values(&service_us, wu_us),
+            work_unit_s: work_unit.as_secs_f64(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +586,15 @@ mod tests {
         assert_eq!(w.bounds(2).0, SimTime::from_millis(100));
         assert_eq!(w.bounds(2).1, SimTime::from_millis(150));
         assert!((w.mid_secs(0) - 0.025).abs() < 1e-12);
+        assert_eq!(w.grid_end(), SimTime::from_millis(200));
+        // Partial trailing interval: grid_end stops at the last whole one.
+        let w2 = Window::new(
+            SimTime::ZERO,
+            SimTime::from_millis(230),
+            SimDuration::from_millis(50),
+        );
+        assert_eq!(w2.len(), 4);
+        assert_eq!(w2.grid_end(), SimTime::from_millis(200));
     }
 
     /// The paper's Fig 6 scenario: requests overlapping two 100 ms
@@ -341,6 +642,42 @@ mod tests {
         assert!(load.values().iter().all(|&v| v == 0.0));
     }
 
+    #[test]
+    fn zero_length_spans_contribute_nothing() {
+        let w = win(100, 50);
+        let spans = vec![
+            span(30_000, 30_000, 0),
+            span(0, 0, 0),
+            span(50_000, 50_000, 0),
+        ];
+        let load = LoadSeries::from_spans(&spans, w);
+        assert!(load.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn sweep_matches_reference_on_straddlers() {
+        // Spans straddling the window start, the grid_end, whole coverage,
+        // and single-interval residents.
+        let w = Window::new(
+            SimTime::from_millis(100),
+            SimTime::from_millis(430),
+            SimDuration::from_millis(50),
+        );
+        let spans = vec![
+            span(0, 150_000, 0),       // straddles window start
+            span(390_000, 500_000, 1), // straddles grid_end (400ms) and end
+            span(0, 1_000_000, 2),     // covers everything
+            span(210_000, 215_000, 0), // inside one interval
+            span(250_000, 250_000, 1), // zero length
+            span(199_999, 200_001, 0), // 2us straddling an interval edge
+        ];
+        let fast = LoadSeries::from_spans(&spans, w);
+        let slow = reference::load_series(&spans, w);
+        for i in 0..fast.len() {
+            assert_eq!(fast.get(i).to_bits(), slow.get(i).to_bits(), "interval {i}");
+        }
+    }
+
     /// The paper's Fig 7 example: Req1 (30 ms service) = 3 work units,
     /// Req2 (10 ms) = 1 unit, with a 10 ms work unit and 100 ms intervals.
     #[test]
@@ -364,12 +701,7 @@ mod tests {
             span(220_000, 230_000, 2),
             span(230_000, 240_000, 2),
         ];
-        let tput = ThroughputSeries::from_spans(
-            &spans,
-            w,
-            &services,
-            SimDuration::from_millis(10),
-        );
+        let tput = ThroughputSeries::from_spans(&spans, w, &services, SimDuration::from_millis(10));
         assert_eq!(
             (tput.units(0), tput.units(1), tput.units(2)),
             (6.0, 4.0, 4.0)
@@ -381,9 +713,7 @@ mod tests {
         assert!((tput.count_rate(0) - 40.0).abs() < 1e-9);
         // Equivalent-rate scaling: with mean service 20ms, 6 units/100ms ->
         // 6 * 10/20 / 0.1 = 30 eq-req/s.
-        assert!(
-            (tput.equivalent_rate(0, SimDuration::from_millis(20)) - 30.0).abs() < 1e-9
-        );
+        assert!((tput.equivalent_rate(0, SimDuration::from_millis(20)) - 30.0).abs() < 1e-9);
     }
 
     #[test]
@@ -392,16 +722,29 @@ mod tests {
         let w = win(100, 50);
         // Arrives in interval 0, departs in interval 1: counted in 1.
         let spans = vec![span(10_000, 60_000, 0)];
-        let tput = ThroughputSeries::from_spans(
-            &spans,
-            w,
-            &services,
-            SimDuration::from_millis(10),
-        );
+        let tput = ThroughputSeries::from_spans(&spans, w, &services, SimDuration::from_millis(10));
         assert_eq!(tput.count(0), 0);
         assert_eq!(tput.count(1), 1);
-        // Unknown class falls back to capped residence (here 10ms = 1 unit).
+        // Unknown class falls back to capped residence: 50ms residence
+        // capped at the 10ms work unit -> 1 unit.
         assert!((tput.units(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fallback_keeps_sub_work_unit_residence() {
+        // A span of an uncalibrated class whose residence is *shorter* than
+        // one work unit contributes that residence, not a whole unit: 4ms
+        // residence with a 10ms work unit -> 0.4 units.
+        let services = ServiceTimeTable::new();
+        let w = win(100, 50);
+        let spans = vec![span(10_000, 14_000, 0)];
+        let tput = ThroughputSeries::from_spans(&spans, w, &services, SimDuration::from_millis(10));
+        assert_eq!(tput.count(0), 1);
+        assert!(
+            (tput.units(0) - 0.4).abs() < 1e-12,
+            "units {}",
+            tput.units(0)
+        );
     }
 
     #[test]
@@ -414,12 +757,7 @@ mod tests {
             .collect();
         let total = |interval_ms: u64| -> f64 {
             let w = win(1_000, interval_ms);
-            let t = ThroughputSeries::from_spans(
-                &spans,
-                w,
-                &services,
-                SimDuration::from_millis(4),
-            );
+            let t = ThroughputSeries::from_spans(&spans, w, &services, SimDuration::from_millis(4));
             (0..t.len()).map(|i| t.units(i)).sum()
         };
         let t20 = total(20);
@@ -427,5 +765,61 @@ mod tests {
         let t1000 = total(1000);
         assert!((t20 - t50).abs() < 1e-9);
         assert!((t50 - t1000).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fused_set_matches_individual_constructors() {
+        let mut services = ServiceTimeTable::new();
+        services.insert(NodeId(1), ClassId(1), SimDuration::from_millis(12));
+        let spans: Vec<Span> = (0..200)
+            .map(|i| {
+                span(
+                    i * 3_100,
+                    i * 3_100 + 9_000 + (i % 7) * 2_000,
+                    (i % 3) as u16,
+                )
+            })
+            .collect();
+        let w = win(700, 50);
+        let wu = SimDuration::from_millis(4);
+        let set = SeriesSet::from_spans(&spans, w, &services, wu);
+        let load = LoadSeries::from_spans(&spans, w);
+        let tput = ThroughputSeries::from_spans(&spans, w, &services, wu);
+        assert_eq!(set.load(), load);
+        assert_eq!(set.tput(), tput);
+        assert_eq!(set.window(), w);
+    }
+
+    #[test]
+    fn coarsen_is_bit_identical_to_direct() {
+        let mut services = ServiceTimeTable::new();
+        services.insert(NodeId(1), ClassId(0), SimDuration::from_millis(6));
+        services.insert(NodeId(1), ClassId(1), SimDuration::from_millis(18));
+        let spans: Vec<Span> = (0..300)
+            .map(|i| {
+                span(
+                    i * 2_700,
+                    i * 2_700 + 4_000 + (i % 11) * 3_000,
+                    (i % 2) as u16,
+                )
+            })
+            .collect();
+        // 830ms window: 83 fine 10ms intervals, 16 coarse 50ms intervals —
+        // deliberately not a multiple so the tail-drop paths are exercised.
+        let fine_w = win(830, 10);
+        let wu = SimDuration::from_millis(6);
+        let fine = SeriesSet::from_spans(&spans, fine_w, &services, wu);
+        let coarse = fine.coarsen(5);
+        let direct = SeriesSet::from_spans(&spans, coarse.window(), &services, wu);
+        assert_eq!(coarse, direct);
+        let (cl, dl) = (coarse.load(), direct.load());
+        for i in 0..cl.len() {
+            assert_eq!(cl.get(i).to_bits(), dl.get(i).to_bits());
+        }
+        let (ct, dt) = (coarse.tput(), direct.tput());
+        for i in 0..ct.len() {
+            assert_eq!(ct.units(i).to_bits(), dt.units(i).to_bits());
+            assert_eq!(ct.count(i), dt.count(i));
+        }
     }
 }

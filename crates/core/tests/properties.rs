@@ -3,18 +3,14 @@
 use fgbd_core::detect::{classify, DetectorConfig};
 use fgbd_core::nstar::{self, NStarConfig};
 use fgbd_core::plateau::{find_plateaus, PlateauConfig};
-use fgbd_core::series::{LoadSeries, ThroughputSeries, Window};
+use fgbd_core::series::{reference, LoadSeries, SeriesSet, ThroughputSeries, Window};
 use fgbd_des::{SimDuration, SimTime};
 use fgbd_trace::servicetime::ServiceTimeTable;
 use fgbd_trace::{ClassId, ConnId, NodeId, Span};
 use proptest::prelude::*;
 
 fn spans_strategy() -> impl Strategy<Value = Vec<Span>> {
-    prop::collection::vec(
-        (0u64..2_000_000, 1u64..400_000, 0u16..4),
-        1..120,
-    )
-    .prop_map(|raw| {
+    prop::collection::vec((0u64..2_000_000, 1u64..400_000, 0u16..4), 1..120).prop_map(|raw| {
         raw.into_iter()
             .map(|(a, dur, class)| Span {
                 server: NodeId(1),
@@ -26,6 +22,28 @@ fn spans_strategy() -> impl Strategy<Value = Vec<Span>> {
             })
             .collect()
     })
+}
+
+/// Spans that may be zero-length, straddle the window edges, or carry a
+/// class the service table has never seen (exercising the residence
+/// fallback of `ThroughputSeries`).
+fn awkward_spans_strategy() -> impl Strategy<Value = Vec<Span>> {
+    prop::collection::vec((0u64..2_000_000, 0u64..400_000, 0u16..6), 0..120).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(a, dur, class)| Span {
+                server: NodeId(1),
+                class: ClassId(class),
+                arrival: SimTime::from_micros(a),
+                departure: SimTime::from_micros(a + dur),
+                conn: ConnId(0),
+                truth: None,
+            })
+            .collect()
+    })
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
 }
 
 fn window() -> Window {
@@ -158,6 +176,91 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The O(S+I) sweep-line builders agree **bit-for-bit** with the naive
+    /// per-interval reference on arbitrary grids — including zero-length
+    /// spans, spans straddling the window edges, partial trailing coverage
+    /// (non-round intervals), and classes missing from the service table.
+    #[test]
+    fn sweep_matches_reference_bitwise(
+        spans in awkward_spans_strategy(),
+        start_ms in 0u64..100,
+        interval_us in 500u64..120_000,
+    ) {
+        let w = Window::new(
+            SimTime::from_millis(start_ms),
+            SimTime::from_millis(2_500),
+            SimDuration::from_micros(interval_us),
+        );
+        let svc = services();
+        let wu = SimDuration::from_millis(10);
+        let load = LoadSeries::from_spans(&spans, w);
+        let load_ref = reference::load_series(&spans, w);
+        prop_assert_eq!(bits(load.values()), bits(load_ref.values()));
+        let tput = ThroughputSeries::from_spans(&spans, w, &svc, wu);
+        let tput_ref = reference::throughput_series(&spans, w, &svc, wu);
+        prop_assert_eq!(tput.len(), tput_ref.len());
+        for i in 0..tput.len() {
+            prop_assert_eq!(tput.count(i), tput_ref.count(i));
+            prop_assert_eq!(tput.units(i).to_bits(), tput_ref.units(i).to_bits());
+        }
+    }
+
+    /// Aggregating the finest grid by an integer factor is bit-identical
+    /// to building the coarse grid from the spans directly — the invariant
+    /// `auto_interval` relies on to walk the span list only once.
+    #[test]
+    fn coarsening_equals_direct_build(
+        spans in awkward_spans_strategy(),
+        factor in 1usize..8,
+    ) {
+        let svc = services();
+        let wu = SimDuration::from_millis(10);
+        let end = SimTime::from_millis(2_500);
+        let fine = SeriesSet::from_spans(
+            &spans,
+            Window::new(SimTime::ZERO, end, SimDuration::from_millis(10)),
+            &svc,
+            wu,
+        );
+        let coarse = fine.coarsen(factor);
+        let direct = SeriesSet::from_spans(
+            &spans,
+            Window::new(SimTime::ZERO, end, SimDuration::from_millis(10 * factor as u64)),
+            &svc,
+            wu,
+        );
+        prop_assert_eq!(coarse.window(), direct.window());
+        prop_assert_eq!(bits(coarse.load().values()), bits(direct.load().values()));
+        let (ct, dt) = (coarse.tput(), direct.tput());
+        prop_assert_eq!(ct.len(), dt.len());
+        for i in 0..ct.len() {
+            prop_assert_eq!(ct.count(i), dt.count(i));
+            prop_assert_eq!(ct.units(i).to_bits(), dt.units(i).to_bits());
+        }
+    }
+
+    /// With no calibrated service times at all, every completion falls
+    /// back to its residence capped at one work unit, so total units equal
+    /// the capped residence of the spans departing inside the grid.
+    #[test]
+    fn residence_fallback_is_capped(spans in awkward_spans_strategy()) {
+        let w = window();
+        let wu = SimDuration::from_millis(10);
+        let empty = ServiceTimeTable::new();
+        let tput = ThroughputSeries::from_spans(&spans, w, &empty, wu);
+        let total: f64 = (0..tput.len()).map(|i| tput.units(i)).sum();
+        let expected: f64 = spans
+            .iter()
+            .filter(|s| s.departure >= w.start && s.departure < w.grid_end())
+            .map(|s| {
+                let capped = s.residence().as_micros().min(wu.as_micros());
+                capped as f64 / wu.as_micros() as f64
+            })
+            .sum();
+        prop_assert!((total - expected).abs() < 1e-9,
+            "total {} vs expected {}", total, expected);
     }
 
     /// Plateau shares always sum to ~1 and levels stay inside the data

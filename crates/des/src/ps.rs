@@ -175,7 +175,10 @@ impl PsIntegrator {
     /// Panics if `demand` is not positive and finite, or if `job` is already
     /// present.
     pub fn insert(&mut self, now: SimTime, job: JobId, demand: f64) {
-        assert!(demand > 0.0 && demand.is_finite(), "demand must be positive");
+        assert!(
+            demand > 0.0 && demand.is_finite(),
+            "demand must be positive"
+        );
         self.advance(now);
         let key = Key::new(self.attained + demand, self.seq);
         self.seq += 1;
@@ -353,7 +356,7 @@ mod tests {
         let mut ps = PsIntegrator::new(100.0, 2);
         ps.insert(SimTime::ZERO, JobId(1), 100.0); // 1 core busy
         ps.insert(t(500), JobId(2), 100.0); // 2 cores busy
-        // At t=1.0: job1 done (attained 100 at t=1.0).
+                                            // At t=1.0: job1 done (attained 100 at t=1.0).
         let busy = ps.busy_core_seconds(t(1000));
         assert!((busy - 1.5).abs() < 1e-9, "busy was {busy}");
     }

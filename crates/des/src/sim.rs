@@ -210,7 +210,7 @@ mod tests {
         sim.prime(SimTime::from_millis(5), 1);
         sim.run_until(SimTime::from_millis(5));
         assert_eq!(sim.actor().seen.len(), 2); // events at exactly the horizon run
-        // The delayed event is still queued; running further delivers it.
+                                               // The delayed event is still queued; running further delivers it.
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.actor().seen.len(), 3);
     }

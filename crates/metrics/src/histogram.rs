@@ -134,9 +134,7 @@ impl Histogram {
         let c = &self.counts;
         (0..c.len())
             .filter(|&i| {
-                c[i] > 0
-                    && (i == 0 || c[i - 1] < c[i])
-                    && (i + 1 == c.len() || c[i + 1] <= c[i])
+                c[i] > 0 && (i == 0 || c[i - 1] < c[i]) && (i + 1 == c.len() || c[i + 1] <= c[i])
             })
             .count()
     }

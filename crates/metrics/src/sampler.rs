@@ -56,9 +56,8 @@ impl UtilizationSeries {
             let mut t = start + period;
             while t <= end {
                 let b = interpolate(cumulative, t);
-                let util = ((b - prev_b)
-                    / (f64::from(cores) * (t - prev_t).as_secs_f64()))
-                .clamp(0.0, 1.0);
+                let util = ((b - prev_b) / (f64::from(cores) * (t - prev_t).as_secs_f64()))
+                    .clamp(0.0, 1.0);
                 samples.push(UtilSample { at: t, util });
                 prev_t = t;
                 prev_b = b;
@@ -155,11 +154,7 @@ mod tests {
         let mut v = Vec::new();
         for i in 0..=200u64 {
             let t = SimTime::from_millis(i * 100);
-            let busy = if i <= 100 {
-                i as f64 * 0.05
-            } else {
-                5.0
-            };
+            let busy = if i <= 100 { i as f64 * 0.05 } else { 5.0 };
             v.push((t, busy));
         }
         v
@@ -212,11 +207,7 @@ mod tests {
     fn empty_or_single_reading_yields_nothing() {
         let s = UtilizationSeries::sample(&[], 1, SimDuration::from_secs(1));
         assert!(s.is_empty());
-        let s1 = UtilizationSeries::sample(
-            &[(SimTime::ZERO, 0.0)],
-            1,
-            SimDuration::from_secs(1),
-        );
+        let s1 = UtilizationSeries::sample(&[(SimTime::ZERO, 0.0)], 1, SimDuration::from_secs(1));
         assert!(s1.is_empty());
     }
 

@@ -101,7 +101,14 @@ const RUBBOS_SHAPES: [(&str, f64, f64, [f64; 4], u32, f64); 24] = [
     ("ViewStory", 16.0, 0.0, [1.0, 1.1, 1.0, 0.9], 6, 1.0),
     ("ViewComment", 12.0, 0.0, [0.8, 1.3, 1.0, 1.1], 7, 1.0),
     ("BrowseCategories", 8.0, 0.0, [0.9, 0.6, 1.0, 0.7], 2, 0.8),
-    ("BrowseStoriesByCategory", 10.0, 0.0, [1.0, 0.9, 1.0, 1.2], 5, 1.1),
+    (
+        "BrowseStoriesByCategory",
+        10.0,
+        0.0,
+        [1.0, 0.9, 1.0, 1.2],
+        5,
+        1.1,
+    ),
     ("OlderStories", 7.0, 0.0, [1.0, 0.8, 1.0, 1.3], 4, 1.2),
     ("SearchInStories", 6.0, 0.0, [1.1, 1.5, 1.0, 2.2], 5, 1.5),
     ("SearchInComments", 4.0, 0.0, [1.1, 1.6, 1.0, 2.5], 5, 1.6),
@@ -201,11 +208,7 @@ impl WorkloadMix {
     /// Weighted mean of an arbitrary per-class quantity.
     pub fn weighted_mean(&self, f: impl Fn(&RequestClass) -> f64) -> f64 {
         let wsum: f64 = self.classes.iter().map(|c| c.weight).sum();
-        self.classes
-            .iter()
-            .map(|c| c.weight * f(c))
-            .sum::<f64>()
-            / wsum
+        self.classes.iter().map(|c| c.weight * f(c)).sum::<f64>() / wsum
     }
 }
 

@@ -198,8 +198,8 @@ impl SystemConfig {
             Jdk::Jdk16 => GcConfig::jdk16_concurrent(),
         };
         let dvfs = speedstep.then(DvfsConfig::dell_bios);
-        let server = |name: &str, tier: usize, cores: u32, threads: usize, backlog: usize| {
-            ServerSpec {
+        let server =
+            |name: &str, tier: usize, cores: u32, threads: usize, backlog: usize| ServerSpec {
                 name: name.to_string(),
                 tier,
                 cores,
@@ -209,8 +209,7 @@ impl SystemConfig {
                 gc: None,
                 dvfs: None,
                 monitor_overhead: 0.0,
-            }
-        };
+            };
         let topology = vec![
             // Web tier: 1 "L" Apache. The admission point: finite backlog.
             vec![server("apache", 0, 2, 300, 120)],
@@ -427,8 +426,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "fraction of one core")]
     fn monitoring_overhead_rejects_full_core() {
-        let _ = SystemConfig::paper_1l2s1l2s(1_000, Jdk::Jdk16, false, 1)
-            .with_monitoring_overhead(1.0);
+        let _ =
+            SystemConfig::paper_1l2s1l2s(1_000, Jdk::Jdk16, false, 1).with_monitoring_overhead(1.0);
     }
 
     #[test]

@@ -138,8 +138,7 @@ impl DvfsState {
     pub fn tick(&mut self, now: SimTime, busy_core_seconds: f64, cores: u32) -> (usize, f64) {
         let dt = now.saturating_since(self.window_start).as_secs_f64();
         let util = if dt > 0.0 {
-            ((busy_core_seconds - self.window_busy_start) / (f64::from(cores) * dt))
-                .clamp(0.0, 1.0)
+            ((busy_core_seconds - self.window_busy_start) / (f64::from(cores) * dt)).clamp(0.0, 1.0)
         } else {
             0.0
         };

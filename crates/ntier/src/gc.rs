@@ -255,8 +255,8 @@ pub fn gc_running_ratio(
             continue;
         }
         let first = (ev.start.max(from) - from).as_micros() / interval.as_micros();
-        let last = ((ev.stw_end.min(to) - from).as_micros().saturating_sub(1))
-            / interval.as_micros();
+        let last =
+            ((ev.stw_end.min(to) - from).as_micros().saturating_sub(1)) / interval.as_micros();
         for (i, slot) in out
             .iter_mut()
             .enumerate()
@@ -359,7 +359,10 @@ mod tests {
         };
         let o = ev.stw_overlap(SimTime::from_millis(200), SimTime::from_millis(300));
         assert!((o - 0.050).abs() < 1e-12);
-        assert_eq!(ev.stw_overlap(SimTime::from_millis(300), SimTime::from_millis(400)), 0.0);
+        assert_eq!(
+            ev.stw_overlap(SimTime::from_millis(300), SimTime::from_millis(400)),
+            0.0
+        );
     }
 
     #[test]
@@ -383,7 +386,7 @@ mod tests {
         assert!((r[1] - 0.5).abs() < 1e-12); // 75..100 of 50..100
         assert!((r[2] - 1.0).abs() < 1e-12); // fully covered
         assert!((r[3] - 0.5).abs() < 1e-12); // 150..175
-        // Other servers see nothing.
+                                             // Other servers see nothing.
         let r0 = gc_running_ratio(
             &events,
             0,

@@ -20,9 +20,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use fgbd_des::{
-    Actor, Dice, JobId, PsIntegrator, Scheduler, SimDuration, SimTime, Simulation,
-};
+use fgbd_des::{Actor, Dice, JobId, PsIntegrator, Scheduler, SimDuration, SimTime, Simulation};
 use fgbd_trace::{
     ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, TraceLog, TxnId,
 };
@@ -306,9 +304,9 @@ impl NTierSystem {
                     max_threads: spec.max_threads,
                     backlog: spec.backlog,
                     ps: PsIntegrator::new(
-                        spec.dvfs
-                            .map_or(spec.base_mhz, |d| crate::dvfs::XEON_PSTATES[d.start_index].mhz)
-                            * (1.0 - spec.monitor_overhead / f64::from(spec.cores)),
+                        spec.dvfs.map_or(spec.base_mhz, |d| {
+                            crate::dvfs::XEON_PSTATES[d.start_index].mhz
+                        }) * (1.0 - spec.monitor_overhead / f64::from(spec.cores)),
                         spec.cores,
                     ),
                     threads_busy: 0,
@@ -573,16 +571,25 @@ impl NTierSystem {
         let s = &mut self.servers[server];
         s.cpu_gen += 1;
         if let Some(t) = s.ps.next_completion(now) {
-            sched.at(t, Ev::CpuDone {
-                server,
-                gen: s.cpu_gen,
-            });
+            sched.at(
+                t,
+                Ev::CpuDone {
+                    server,
+                    gen: s.cpu_gen,
+                },
+            );
         }
     }
 
     /// Enters the current segment of a visit (CPU, wait, or downstream
     /// call).
-    fn enter_segment(&mut self, now: SimTime, server: usize, visit: u64, sched: &mut Scheduler<Ev>) {
+    fn enter_segment(
+        &mut self,
+        now: SimTime,
+        server: usize,
+        visit: u64,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let (seg, txn, class) = {
             let v = &self.servers[server].visits[&visit];
             (v.segs[v.seg], v.txn, v.class)
@@ -607,16 +614,25 @@ impl NTierSystem {
                     parent: Parent::Visit { server, visit },
                     conn,
                 };
-                sched.after(self.cfg.net_latency, Ev::Arrive {
-                    server: target,
-                    req,
-                });
+                sched.after(
+                    self.cfg.net_latency,
+                    Ev::Arrive {
+                        server: target,
+                        req,
+                    },
+                );
             }
         }
     }
 
     /// Moves a visit past its just-finished segment.
-    fn advance_visit(&mut self, now: SimTime, server: usize, visit: u64, sched: &mut Scheduler<Ev>) {
+    fn advance_visit(
+        &mut self,
+        now: SimTime,
+        server: usize,
+        visit: u64,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let more = {
             let v = self.servers[server]
                 .visits
@@ -632,7 +648,13 @@ impl NTierSystem {
         }
     }
 
-    fn complete_visit(&mut self, now: SimTime, server: usize, visit: u64, sched: &mut Scheduler<Ev>) {
+    fn complete_visit(
+        &mut self,
+        now: SimTime,
+        server: usize,
+        visit: u64,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let v = self.servers[server]
             .visits
             .remove(&visit)
@@ -642,7 +664,16 @@ impl NTierSystem {
         let src = self.servers[server].node;
         let dst = self.parent_node(v.parent);
         let bytes = self.response_bytes(self.servers[server].tier);
-        self.record_msg(now, src, dst, MsgKind::Response, v.conn, v.class, bytes, v.txn);
+        self.record_msg(
+            now,
+            src,
+            dst,
+            MsgKind::Response,
+            v.conn,
+            v.class,
+            bytes,
+            v.txn,
+        );
         match v.parent {
             Parent::User(u) => {
                 sched.after(self.cfg.net_latency, Ev::ClientResp(u));
@@ -652,12 +683,15 @@ impl NTierSystem {
                 visit: pv,
             } => {
                 let li = self.link_index[&(ps, server)];
-                sched.after(self.cfg.net_latency, Ev::RespArrive {
-                    server: ps,
-                    visit: pv,
-                    link: li as u32,
-                    conn: v.conn,
-                });
+                sched.after(
+                    self.cfg.net_latency,
+                    Ev::RespArrive {
+                        server: ps,
+                        visit: pv,
+                        link: li as u32,
+                        conn: v.conn,
+                    },
+                );
             }
         }
         // Admit from the accept queue.
@@ -691,19 +725,31 @@ impl NTierSystem {
         let src = self.parent_node(req.parent);
         let dst = self.servers[server].node;
         let bytes = self.request_bytes(self.servers[server].tier);
-        self.record_msg(now, src, dst, MsgKind::Request, req.conn, req.class, bytes, req.txn);
+        self.record_msg(
+            now,
+            src,
+            dst,
+            MsgKind::Request,
+            req.conn,
+            req.class,
+            bytes,
+            req.txn,
+        );
 
         let visit = self.next_visit;
         self.next_visit += 1;
         let segs = self.sample_segments(now, server, req.class);
-        self.servers[server].visits.insert(visit, Visit {
-            txn: req.txn,
-            class: req.class,
-            parent: req.parent,
-            conn: req.conn,
-            segs,
-            seg: 0,
-        });
+        self.servers[server].visits.insert(
+            visit,
+            Visit {
+                txn: req.txn,
+                class: req.class,
+                parent: req.parent,
+                conn: req.conn,
+                segs,
+                seg: 0,
+            },
+        );
 
         // JVM allocation; may trigger a collection.
         let triggered = self.servers[server]
@@ -713,11 +759,10 @@ impl NTierSystem {
         if triggered {
             let s = &mut self.servers[server];
             let live = s.threads_busy + s.pending.len();
-            let pause = s
-                .gc
-                .as_mut()
-                .expect("gc vanished")
-                .begin(now, live, &mut s.dice);
+            let pause =
+                s.gc.as_mut()
+                    .expect("gc vanished")
+                    .begin(now, live, &mut s.dice);
             s.ps.set_frozen(now, true);
             s.gc_active = Some((now, 1.0));
             sched.after(pause, Ev::GcPauseEnd(server));
@@ -754,10 +799,13 @@ impl NTierSystem {
             parent: Parent::User(user),
             conn: user,
         };
-        sched.after(self.cfg.net_latency, Ev::Arrive {
-            server: target,
-            req,
-        });
+        sched.after(
+            self.cfg.net_latency,
+            Ev::Arrive {
+                server: target,
+                req,
+            },
+        );
     }
 
     fn apply_speed(&mut self, now: SimTime, server: usize) {
@@ -783,9 +831,7 @@ impl Actor for NTierSystem {
                 }
                 sched.after(self.cfg.cpu_sample_period, Ev::CpuSample);
                 if self.cfg.burst.enabled {
-                    let d = self
-                        .burst_dice
-                        .exp_duration(self.cfg.burst.mean_normal);
+                    let d = self.burst_dice.exp_duration(self.cfg.burst.mean_normal);
                     sched.after(d, Ev::BurstToggle);
                 }
             }
@@ -897,9 +943,8 @@ impl Actor for NTierSystem {
                     let s = &mut self.servers[server];
                     let gc = s.gc.as_mut().expect("GC cycle end without GC");
                     let (cycle_start, frac) = s.gc_active.expect("cycle not active");
-                    s.gc_busy_full += f64::from(s.cores)
-                        * frac
-                        * now.saturating_since(cycle_start).as_secs_f64();
+                    s.gc_busy_full +=
+                        f64::from(s.cores) * frac * now.saturating_since(cycle_start).as_secs_f64();
                     s.gc_active = None;
                     let out = (gc.started, s.gc_stw_end, gc.collecting_mb);
                     gc.end_cycle();
@@ -1015,10 +1060,7 @@ mod tests {
         let q = sys.cfg.mix.class(0).queries as usize;
         let app = sys.sample_segments(SimTime::ZERO, 1, 0);
         assert_eq!(app.len(), 2 * q + 1);
-        assert_eq!(
-            app.iter().filter(|s| matches!(s, Segment::Call)).count(),
-            q
-        );
+        assert_eq!(app.iter().filter(|s| matches!(s, Segment::Call)).count(), q);
         // Db (server 4): CPU around a non-CPU wait, no calls.
         let db = sys.sample_segments(SimTime::ZERO, 4, 0);
         assert!(db.iter().all(|s| !matches!(s, Segment::Call)));
@@ -1027,8 +1069,8 @@ mod tests {
 
     #[test]
     fn monitor_overhead_slows_the_clock() {
-        let cfg = SystemConfig::paper_1l2s1l2s(10, Jdk::Jdk16, false, 1)
-            .with_monitoring_overhead(0.12);
+        let cfg =
+            SystemConfig::paper_1l2s1l2s(10, Jdk::Jdk16, false, 1).with_monitoring_overhead(0.12);
         let sys = NTierSystem::new(cfg);
         // Apache: 2 cores at 2261 MHz, 12% of one core stolen -> 6% slower.
         let apache = &sys.servers[0];

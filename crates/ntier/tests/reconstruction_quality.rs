@@ -32,7 +32,11 @@ fn heuristic_accuracy_ranking_matches_design() {
         "profile-guided edge accuracy {}",
         guided.edge_accuracy
     );
-    assert!(guided.txn_accuracy > 0.90, "txn accuracy {}", guided.txn_accuracy);
+    assert!(
+        guided.txn_accuracy > 0.90,
+        "txn accuracy {}",
+        guided.txn_accuracy
+    );
     // Learned fan-out caps must not hurt the base heuristic.
     assert!(guided.edge_accuracy >= quiescent.edge_accuracy);
     // The processor-sharing-aware tiebreak beats both naive baselines.

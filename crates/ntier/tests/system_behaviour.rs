@@ -60,7 +60,11 @@ fn request_response_counts_are_conserved() {
         }
     }
     assert!(req >= resp, "responses cannot outnumber requests");
-    assert!(req - resp < 2_000, "too many in-flight at horizon: {}", req - resp);
+    assert!(
+        req - resp < 2_000,
+        "too many in-flight at horizon: {}",
+        req - resp
+    );
     // Every transaction involves >= 4 request messages (one per tier).
     assert!(req as usize >= 4 * res.txns.len());
 }
@@ -122,7 +126,10 @@ fn speedstep_governor_reacts_to_load() {
     assert!(!res.pstate_log.is_empty(), "governor never ticked");
     let states: std::collections::HashSet<usize> =
         res.pstate_log.iter().map(|p| p.pstate).collect();
-    assert!(states.len() >= 2, "governor never changed P-state: {states:?}");
+    assert!(
+        states.len() >= 2,
+        "governor never changed P-state: {states:?}"
+    );
     // Disabled SpeedStep never logs.
     let off = NTierSystem::run(quick_cfg(1_000, Jdk::Jdk16, false, 31));
     assert!(off.pstate_log.is_empty());
@@ -137,7 +144,10 @@ fn utilization_scales_with_workload() {
     assert!(tomcat_hi > tomcat_lo * 2.0, "lo {tomcat_lo} hi {tomcat_hi}");
     // Tomcat is the hottest tier.
     let apache_hi = hi.mean_cpu_util(hi.server_index("apache").unwrap());
-    assert!(tomcat_hi > apache_hi, "tomcat {tomcat_hi} apache {apache_hi}");
+    assert!(
+        tomcat_hi > apache_hi,
+        "tomcat {tomcat_hi} apache {apache_hi}"
+    );
 }
 
 #[test]
@@ -161,7 +171,11 @@ fn saturation_limits_throughput() {
     assert!(x > 900.0, "saturated throughput collapsed: {x}");
     assert!(x < 1_600.0, "throughput above capacity: {x}");
     // And response times are far above the low-load regime.
-    assert!(res.mean_response_time() > 0.5, "rt {}", res.mean_response_time());
+    assert!(
+        res.mean_response_time() > 0.5,
+        "rt {}",
+        res.mean_response_time()
+    );
     assert!(res.retransmissions > 0, "no admission pushback at WL 14000");
 }
 
@@ -203,7 +217,10 @@ fn sticky_sessions_preserve_the_mix_but_add_correlation() {
         let mut by_user: std::collections::HashMap<u32, Vec<(fgbd_des::SimTime, u16)>> =
             std::collections::HashMap::new();
         for t in &res.txns {
-            by_user.entry(t.user).or_default().push((t.started, t.class));
+            by_user
+                .entry(t.user)
+                .or_default()
+                .push((t.started, t.class));
         }
         let mut repeats = 0usize;
         let mut pairs = 0usize;

@@ -75,12 +75,8 @@ fn analyze(speedstep: bool, label: &str) {
     }
     if let Some(sample) = analysis.run.pstate_log.last() {
         let _ = sample;
-        let states: std::collections::BTreeSet<usize> = analysis
-            .run
-            .pstate_log
-            .iter()
-            .map(|p| p.pstate)
-            .collect();
+        let states: std::collections::BTreeSet<usize> =
+            analysis.run.pstate_log.iter().map(|p| p.pstate).collect();
         let names: Vec<&str> = states.iter().map(|&i| XEON_PSTATES[i].name).collect();
         println!("  governor visited: {}", names.join(", "));
     } else {

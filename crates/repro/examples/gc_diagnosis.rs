@@ -43,8 +43,8 @@ fn diagnose(jdk: Jdk, label: &str) {
     );
     let r_gc_load = pearson(&gc, report.load.values()).unwrap_or(f64::NAN);
     let rt = mean_per_interval(&analysis.rt_events(), &window);
-    let r_load_rt = fgbd_core::correlate::finite_pearson(report.load.values(), &rt)
-        .unwrap_or(f64::NAN);
+    let r_load_rt =
+        fgbd_core::correlate::finite_pearson(report.load.values(), &rt).unwrap_or(f64::NAN);
 
     let collections = analysis
         .run
@@ -62,7 +62,10 @@ fn diagnose(jdk: Jdk, label: &str) {
         / collections.max(1) as f64;
 
     println!("{label}:");
-    println!("  collections: {collections} (mean stop-the-world {:.0} ms)", mean_stw * 1e3);
+    println!(
+        "  collections: {collections} (mean stop-the-world {:.0} ms)",
+        mean_stw * 1e3
+    );
     println!(
         "  tomcat congested intervals: {} / {}, frozen (POI): {}",
         report.congested_intervals(),

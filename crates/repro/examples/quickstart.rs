@@ -39,7 +39,9 @@ fn main() {
     let analysis = Analysis::new(run, cal);
     let window = analysis.window(SimDuration::from_millis(50));
     let cfg = DetectorConfig::default();
-    let names = ["apache", "tomcat-1", "tomcat-2", "cjdbc", "mysql-1", "mysql-2"];
+    let names = [
+        "apache", "tomcat-1", "tomcat-2", "cjdbc", "mysql-1", "mysql-2",
+    ];
     let reports: Vec<_> = names
         .iter()
         .map(|n| analysis.report(n, window, &cfg))

@@ -70,25 +70,20 @@ fn main() {
     let cal = Calibration::from_run(&run_like);
 
     let spans = SpanSet::extract(&log);
-    let window = Window::new(
-        start,
-        end,
-        SimDuration::from_millis(interval_ms.max(1)),
-    );
+    let window = Window::new(start, end, SimDuration::from_millis(interval_ms.max(1)));
     let cfg = DetectorConfig::default();
 
-    let mut reports = Vec::new();
-    println!(
-        "\n{:<12} {:>8} {:>10} {:>10} {:>8} {:>8}",
-        "server", "spans", "N*", "congested", "frozen", "ratio%"
-    );
-    for meta in log.nodes.iter().filter(|n| n.kind == NodeKind::Server) {
-        let server_spans = spans.server(meta.id);
-        if server_spans.is_empty() {
-            continue;
-        }
+    // One worker per server: the per-server analyses are independent, so
+    // they fan out across cores and the table prints afterwards in node
+    // order.
+    let metas: Vec<_> = log
+        .nodes
+        .iter()
+        .filter(|n| n.kind == NodeKind::Server && !spans.server(n.id).is_empty())
+        .collect();
+    let reports: Vec<(String, _)> = fgbd_repro::par::par_map(&metas, |meta| {
         let report = analyze_server(
-            server_spans,
+            spans.server(meta.id),
             meta.id,
             window,
             &cal.services,
@@ -98,10 +93,17 @@ fn main() {
                 .unwrap_or(WORK_UNIT_RESOLUTION),
             &cfg,
         );
+        (meta.name.clone(), report)
+    });
+    println!(
+        "\n{:<12} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "server", "spans", "N*", "congested", "frozen", "ratio%"
+    );
+    for (meta, (name, report)) in metas.iter().zip(&reports) {
         println!(
             "{:<12} {:>8} {:>10} {:>10} {:>8} {:>8.1}",
-            meta.name,
-            server_spans.len(),
+            name,
+            spans.server(meta.id).len(),
             report
                 .nstar
                 .as_ref()
@@ -110,12 +112,9 @@ fn main() {
             report.frozen_intervals(),
             report.congestion_ratio() * 100.0
         );
-        reports.push((meta.name.clone(), report));
     }
 
-    let ranked = rank_bottlenecks(
-        &reports.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
-    );
+    let ranked = rank_bottlenecks(&reports.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
     if let Some((top, ratio)) = ranked.first() {
         let name = reports
             .iter()

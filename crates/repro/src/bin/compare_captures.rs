@@ -57,24 +57,28 @@ fn reports(log: &TraceLog) -> BTreeMap<String, ServerReport> {
     let cal = Calibration::from_run(&run_like);
     let spans = SpanSet::extract(log);
     let window = Window::new(first.at, last.at, SimDuration::from_millis(50));
-    log.nodes
+    // Per-server analyses are independent — fan them out across cores.
+    let servers: Vec<_> = log
+        .nodes
         .iter()
         .filter(|n| n.kind == NodeKind::Server && !spans.server(n.id).is_empty())
-        .map(|n| {
-            let report = analyze_server(
-                spans.server(n.id),
-                n.id,
-                window,
-                &cal.services,
-                cal.work_units
-                    .get(&n.id)
-                    .copied()
-                    .unwrap_or(WORK_UNIT_RESOLUTION),
-                &DetectorConfig::default(),
-            );
-            (n.name.clone(), report)
-        })
-        .collect()
+        .collect();
+    fgbd_repro::par::par_map(&servers, |n| {
+        let report = analyze_server(
+            spans.server(n.id),
+            n.id,
+            window,
+            &cal.services,
+            cal.work_units
+                .get(&n.id)
+                .copied()
+                .unwrap_or(WORK_UNIT_RESOLUTION),
+            &DetectorConfig::default(),
+        );
+        (n.name.clone(), report)
+    })
+    .into_iter()
+    .collect()
 }
 
 fn main() {

@@ -3,5 +3,8 @@
 
 fn main() {
     let summaries = fgbd_repro::experiments::run_all();
-    println!("== all experiments complete: {} artifacts ==", summaries.len());
+    println!(
+        "== all experiments complete: {} artifacts ==",
+        summaries.len()
+    );
 }

@@ -39,7 +39,12 @@ pub fn run() -> ExperimentSummary {
         .collect();
     write_csv(
         "ext_autointerval",
-        &["interval_ms", "tput_noise_cv", "peak_retention", "intervals"],
+        &[
+            "interval_ms",
+            "tput_noise_cv",
+            "peak_retention",
+            "intervals",
+        ],
         &rows,
     );
 
@@ -51,7 +56,10 @@ pub fn run() -> ExperimentSummary {
     );
     for sc in &selection.scores {
         s.row(
-            &format!("{:.0} ms: tput noise / peak retention", sc.interval.as_millis_f64()),
+            &format!(
+                "{:.0} ms: tput noise / peak retention",
+                sc.interval.as_millis_f64()
+            ),
             "noise falls, retention falls with length",
             format!("{:.3} / {:.2}", sc.noise, sc.peak_retention),
         );

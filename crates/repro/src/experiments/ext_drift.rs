@@ -42,7 +42,8 @@ pub fn run() -> ExperimentSummary {
 
     // Over the final 30 s, the "true" work ratio between tables shows the
     // drift; normalized throughput with the stale table under-counts work.
-    let window = fgbd_core::series::Window::new(late_start, run.horizon, SimDuration::from_millis(50));
+    let window =
+        fgbd_core::series::Window::new(late_start, run.horizon, SimDuration::from_millis(50));
     let wu = stale
         .work_unit(node, WORK_UNIT_RESOLUTION)
         .unwrap_or(WORK_UNIT_RESOLUTION);

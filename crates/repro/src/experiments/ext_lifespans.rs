@@ -29,11 +29,16 @@ fn episode_durations(scenario: &Scenario, users: u32, server: &str) -> Vec<f64> 
 pub fn run() -> ExperimentSummary {
     let mut s = ExperimentSummary::new("ext_lifespans");
     let mut rows = Vec::new();
-    for (scenario, users, server, label) in [
+    // The two case studies calibrate, simulate, and analyze in parallel;
+    // summary rows render afterwards in input order.
+    let cases = [
         (&SPEEDSTEP_ON, 8_000u32, "mysql-1", "speedstep mysql@8k"),
         (&GC_JDK15, 7_000, "tomcat-1", "gc tomcat@7k"),
-    ] {
-        let durations = episode_durations(scenario, users, server);
+    ];
+    let all_durations = crate::par::par_map(&cases, |&(scenario, users, server, _)| {
+        episode_durations(scenario, users, server)
+    });
+    for (&(_, _, _, label), durations) in cases.iter().zip(&all_durations) {
         if durations.is_empty() {
             s.note(format!("{label}: no episodes"));
             continue;
@@ -73,10 +78,7 @@ pub fn run() -> ExperimentSummary {
         s.row(
             &format!("{label}: episodes under 1 s"),
             "the vast majority",
-            format!(
-                "{:.1}%",
-                100.0 * sub_second as f64 / durations.len() as f64
-            ),
+            format!("{:.1}%", 100.0 * sub_second as f64 / durations.len() as f64),
         );
     }
     write_csv(

@@ -41,7 +41,13 @@ pub fn run() -> ExperimentSummary {
     }
     write_csv(
         "ext_overhead",
-        &["monitor", "overhead_frac", "tput_tps", "mean_rt_s", "frac_rt_over_2s"],
+        &[
+            "monitor",
+            "overhead_frac",
+            "tput_tps",
+            "mean_rt_s",
+            "frac_rt_over_2s",
+        ],
         &rows,
     );
 
@@ -64,11 +70,7 @@ pub fn run() -> ExperimentSummary {
     s.row(
         "passive tracing baseline",
         "negligible server-side cost",
-        format!(
-            "rt {:.0} ms, >2s {:.2}%",
-            base_rt * 1e3,
-            base_slow * 100.0
-        ),
+        format!("rt {:.0} ms, >2s {:.2}%", base_rt * 1e3, base_slow * 100.0),
     );
     s.note("fine-grained sampling perturbs the very system it observes; passive tracing gets 50 ms visibility for free (§I)");
     s

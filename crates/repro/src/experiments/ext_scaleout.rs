@@ -47,7 +47,14 @@ pub fn run() -> ExperimentSummary {
     let (t4, rt4, cong4, poi4, util4) = measure(4);
     write_csv(
         "ext_scaleout",
-        &["tomcats", "tput_tps", "mean_rt_s", "congested", "pois", "tomcat_util"],
+        &[
+            "tomcats",
+            "tput_tps",
+            "mean_rt_s",
+            "congested",
+            "pois",
+            "tomcat_util",
+        ],
         &[
             vec![
                 "2".into(),

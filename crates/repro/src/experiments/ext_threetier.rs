@@ -73,6 +73,8 @@ pub fn run() -> ExperimentSummary {
         "improves",
         format!("{:.0} ms vs {:.0} ms", rt15 * 1e3, rt16 * 1e3),
     );
-    s.note("the analysis consumes only per-server spans, so tier count is irrelevant to the detector");
+    s.note(
+        "the analysis consumes only per-server spans, so tier count is irrelevant to the detector",
+    );
     s
 }

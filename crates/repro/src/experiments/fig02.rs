@@ -44,13 +44,19 @@ pub fn run() -> ExperimentSummary {
 
     let tputs: Vec<f64> = results.iter().map(|r| r.throughput()).collect();
     let rts: Vec<f64> = results.iter().map(|r| r.mean_response_time()).collect();
-    let slow: Vec<f64> = results
-        .iter()
-        .map(|r| r.frac_slower_than(two_s))
-        .collect();
-    println!("{}", plot::timeline("Fig 2(a) throughput [tx/s] vs WL (1k..16k)", &tputs, 10));
-    println!("{}", plot::timeline("Fig 2(a) mean response time [s] vs WL", &rts, 10));
-    println!("{}", plot::timeline("Fig 2(b) fraction of requests > 2 s vs WL", &slow, 10));
+    let slow: Vec<f64> = results.iter().map(|r| r.frac_slower_than(two_s)).collect();
+    println!(
+        "{}",
+        plot::timeline("Fig 2(a) throughput [tx/s] vs WL (1k..16k)", &tputs, 10)
+    );
+    println!(
+        "{}",
+        plot::timeline("Fig 2(a) mean response time [s] vs WL", &rts, 10)
+    );
+    println!(
+        "{}",
+        plot::timeline("Fig 2(b) fraction of requests > 2 s vs WL", &slow, 10)
+    );
 
     // Fig 2(c): RT distribution at WL 8,000.
     let wl8k = &results[7];

@@ -56,7 +56,11 @@ pub fn run() -> ExperimentSummary {
             format!("{median:.1}%"),
         );
     }
-    write_csv("fig03_cpu_timeline", &["server", "second", "cpu_pct"], &csv_rows);
+    write_csv(
+        "fig03_cpu_timeline",
+        &["server", "second", "cpu_pct"],
+        &csv_rows,
+    );
     s.note("second-granularity utilization hovers near 80% — the millisecond bottlenecks of Fig 12 are invisible at this resolution");
     s
 }

@@ -31,10 +31,17 @@ pub fn run() -> ExperimentSummary {
     let tputs: Vec<f64> = (0..zoom_report.tput.len())
         .map(|i| zoom_report.tput.equivalent_rate(i, ms))
         .collect();
-    println!("{}", plot::timeline("Fig 5(a) MySQL load per 50 ms (12 s zoom)", &loads, 10));
     println!(
         "{}",
-        plot::timeline("Fig 5(b) MySQL throughput [eq-req/s] per 50 ms (12 s zoom)", &tputs, 10)
+        plot::timeline("Fig 5(a) MySQL load per 50 ms (12 s zoom)", &loads, 10)
+    );
+    println!(
+        "{}",
+        plot::timeline(
+            "Fig 5(b) MySQL throughput [eq-req/s] per 50 ms (12 s zoom)",
+            &tputs,
+            10
+        )
     );
     let mut rows = Vec::new();
     for i in 0..loads.len() {
@@ -90,8 +97,16 @@ pub fn run() -> ExperimentSummary {
     let mut s = ExperimentSummary::new("fig05");
     match &report.nstar {
         Some(est) => {
-            s.row("main sequence curve", "rises then flattens at N*", "observed");
-            s.row("N* (congestion point)", "~10-15 (read off Fig 5c)", format!("{:.1}", est.nstar));
+            s.row(
+                "main sequence curve",
+                "rises then flattens at N*",
+                "observed",
+            );
+            s.row(
+                "N* (congestion point)",
+                "~10-15 (read off Fig 5c)",
+                format!("{:.1}", est.nstar),
+            );
             s.row(
                 "congested intervals (load > N*)",
                 "frequent short-term congestion",
@@ -109,8 +124,10 @@ pub fn run() -> ExperimentSummary {
     s.row(
         "load fluctuation in 12 s zoom",
         "frequent high peaks",
-        format!("peak load {max_load:.0} vs mean {:.1}",
-            loads.iter().sum::<f64>() / loads.len().max(1) as f64),
+        format!(
+            "peak load {max_load:.0} vs mean {:.1}",
+            loads.iter().sum::<f64>() / loads.len().max(1) as f64
+        ),
     );
     s
 }

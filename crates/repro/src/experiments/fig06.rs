@@ -54,7 +54,11 @@ pub fn run() -> ExperimentSummary {
     let steps = LoadSeries::from_spans(&spans, fine);
     println!(
         "{}",
-        plot::timeline("Fig 6 concurrent requests n(t) (5 ms steps)", steps.values(), 4)
+        plot::timeline(
+            "Fig 6 concurrent requests n(t) (5 ms steps)",
+            steps.values(),
+            4
+        )
     );
     write_csv(
         "fig06_load",
@@ -66,8 +70,16 @@ pub fn run() -> ExperimentSummary {
     );
 
     let mut s = ExperimentSummary::new("fig06");
-    s.row("interval 0 load", "time-weighted average of n(t)", format!("{:.2}", load.get(0)));
-    s.row("interval 1 load", "time-weighted average of n(t)", format!("{:.2}", load.get(1)));
+    s.row(
+        "interval 0 load",
+        "time-weighted average of n(t)",
+        format!("{:.2}", load.get(0)),
+    );
+    s.row(
+        "interval 1 load",
+        "time-weighted average of n(t)",
+        format!("{:.2}", load.get(1)),
+    );
     s.note("load equals the integral of the concurrency step function over each interval, exactly as in §III-A");
     s
 }

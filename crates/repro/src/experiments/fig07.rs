@@ -87,10 +87,26 @@ pub fn run() -> ExperimentSummary {
     );
 
     let mut s = ExperimentSummary::new("fig07");
-    s.row("work unit (GCD of 30, 10 ms)", "10 ms", format!("{work_unit}"));
-    s.row("loads TW0/TW1/TW2", "0.6 / 0.4 / 0.4", format!("{:.1} / {:.1} / {:.1}", loads[0], loads[1], loads[2]));
-    s.row("normalized tput", "6 / 4 / 4 units", format!("{:.0} / {:.0} / {:.0}", units[0], units[1], units[2]));
-    s.row("straightforward tput", "2 / 2 / 4 reqs", format!("{:.0} / {:.0} / {:.0}", counts[0], counts[1], counts[2]));
+    s.row(
+        "work unit (GCD of 30, 10 ms)",
+        "10 ms",
+        format!("{work_unit}"),
+    );
+    s.row(
+        "loads TW0/TW1/TW2",
+        "0.6 / 0.4 / 0.4",
+        format!("{:.1} / {:.1} / {:.1}", loads[0], loads[1], loads[2]),
+    );
+    s.row(
+        "normalized tput",
+        "6 / 4 / 4 units",
+        format!("{:.0} / {:.0} / {:.0}", units[0], units[1], units[2]),
+    );
+    s.row(
+        "straightforward tput",
+        "2 / 2 / 4 reqs",
+        format!("{:.0} / {:.0} / {:.0}", counts[0], counts[1], counts[2]),
+    );
     s.row(
         "load vs normalized correlation",
         "strong positive",

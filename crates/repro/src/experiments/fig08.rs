@@ -22,7 +22,11 @@ pub fn run() -> ExperimentSummary {
     let mut s = ExperimentSummary::new("fig08");
     let mut rows = Vec::new();
     let mut spreads = Vec::new();
-    for (label, ms, paper_pts) in [("20ms", 20u64, 9_000), ("50ms", 50, 3_600), ("1s", 1_000, 180)] {
+    for (label, ms, paper_pts) in [
+        ("20ms", 20u64, 9_000),
+        ("50ms", 50, 3_600),
+        ("1s", 1_000, 180),
+    ] {
         let window = analysis.window(SimDuration::from_millis(ms));
         let report = analysis.report("mysql-1", window, &cfg);
         let pts = analysis.scatter_points_eq(&report);
@@ -50,11 +54,7 @@ pub fn run() -> ExperimentSummary {
             f64::NAN
         };
         spreads.push(spread);
-        s.row(
-            &format!("{label}: interval count"),
-            paper_pts,
-            pts.len(),
-        );
+        s.row(&format!("{label}: interval count"), paper_pts, pts.len());
         rows.push(vec![
             label.to_string(),
             pts.len().to_string(),
@@ -63,7 +63,11 @@ pub fn run() -> ExperimentSummary {
         ]);
         s.row(
             &format!("{label}: max observed load"),
-            if ms == 1_000 { "low (averaged away)" } else { "high peaks visible" },
+            if ms == 1_000 {
+                "low (averaged away)"
+            } else {
+                "high peaks visible"
+            },
             format!("{max_load:.1}"),
         );
     }
@@ -77,6 +81,8 @@ pub fn run() -> ExperimentSummary {
         "20 ms blurrier than 50 ms",
         format!("{:.3} vs {:.3}", spreads[0], spreads[1]),
     );
-    s.note("1 s intervals compress the load range — short-term congestion disappears, as in Fig 8(c)");
+    s.note(
+        "1 s intervals compress the load range — short-term congestion disappears, as in Fig 8(c)",
+    );
     s
 }

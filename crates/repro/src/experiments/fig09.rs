@@ -20,12 +20,19 @@ pub fn run() -> ExperimentSummary {
     let interval = SimDuration::from_millis(50);
     let mut s = ExperimentSummary::new("fig09");
 
-    let mut congested = Vec::new();
-    let mut frozen = Vec::new();
-    for (wl, fig) in [(7_000u32, "9(a)"), (14_000, "9(b)")] {
+    // Simulate and analyze both workloads in parallel; plots and rows are
+    // rendered afterwards in input order so the output stays deterministic.
+    let cases = [(7_000u32, "9(a)"), (14_000, "9(b)")];
+    let computed = crate::par::par_map(&cases, |&(wl, _)| {
         let analysis = Analysis::new(GC_JDK15.run(wl), Calibration::clone(&cal));
         let report = analysis.report("tomcat-1", analysis.window(interval), &cfg);
-        let pts = analysis.scatter_points_eq(&report);
+        (analysis, report)
+    });
+
+    let mut congested = Vec::new();
+    let mut frozen = Vec::new();
+    for (&(wl, fig), (analysis, report)) in cases.iter().zip(&computed) {
+        let pts = analysis.scatter_points_eq(report);
         println!(
             "{}",
             plot::scatter(
@@ -39,8 +46,7 @@ pub fn run() -> ExperimentSummary {
         write_csv(
             &format!("fig09_scatter_wl{wl}"),
             &["load", "tput_eq_rps"],
-            &pts
-                .iter()
+            &pts.iter()
                 .map(|&(l, t)| vec![format!("{l:.3}"), format!("{t:.1}")])
                 .collect::<Vec<_>>(),
         );
@@ -62,7 +68,11 @@ pub fn run() -> ExperimentSummary {
         );
         s.row(
             &format!("WL {wl}: POIs (high load, ~zero tput)"),
-            if wl == 7_000 { "rare" } else { "many (GC freezes)" },
+            if wl == 7_000 {
+                "rare"
+            } else {
+                "many (GC freezes)"
+            },
             report.frozen_intervals(),
         );
 
@@ -79,10 +89,17 @@ pub fn run() -> ExperimentSummary {
             let tputs: Vec<f64> = (0..zr.tput.len())
                 .map(|i| zr.tput.equivalent_rate(i, ms))
                 .collect();
-            println!("{}", plot::timeline("Fig 9(c) Tomcat load per 50 ms (10 s zoom)", &loads, 9));
             println!(
                 "{}",
-                plot::timeline("Fig 9(c) Tomcat throughput [eq-req/s] per 50 ms (10 s zoom)", &tputs, 9)
+                plot::timeline("Fig 9(c) Tomcat load per 50 ms (10 s zoom)", &loads, 9)
+            );
+            println!(
+                "{}",
+                plot::timeline(
+                    "Fig 9(c) Tomcat throughput [eq-req/s] per 50 ms (10 s zoom)",
+                    &tputs,
+                    9
+                )
             );
             write_csv(
                 "fig09c_zoom",

@@ -77,11 +77,25 @@ pub fn run() -> ExperimentSummary {
         interval,
     );
     let zrt = mean_per_interval(&analysis.rt_events(), &zoom);
-    println!("{}", plot::timeline("Fig 10(a) Tomcat GC running ratio per 50 ms (12 s)", &zgc, 6));
-    println!("{}", plot::timeline("Fig 10(a) Tomcat load per 50 ms (12 s)", &zloads, 9));
     println!(
         "{}",
-        plot::timeline("Fig 10(b) system response time [s] per 50 ms (12 s)", &zrt, 9)
+        plot::timeline(
+            "Fig 10(a) Tomcat GC running ratio per 50 ms (12 s)",
+            &zgc,
+            6
+        )
+    );
+    println!(
+        "{}",
+        plot::timeline("Fig 10(a) Tomcat load per 50 ms (12 s)", &zloads, 9)
+    );
+    println!(
+        "{}",
+        plot::timeline(
+            "Fig 10(b) system response time [s] per 50 ms (12 s)",
+            &zrt,
+            9
+        )
     );
     write_csv(
         "fig10_zoom",

@@ -19,18 +19,25 @@ pub fn run() -> ExperimentSummary {
     let interval = SimDuration::from_millis(50);
     let mut s = ExperimentSummary::new("fig11");
 
+    // Both JDK variants calibrate, simulate, and analyze in parallel; the
+    // plots and summary rows render afterwards in input order.
+    let cases = [(GC_JDK16, "jdk16"), (GC_JDK15, "jdk15")];
+    let computed = crate::par::par_map(&cases, |(scenario, _)| {
+        let cal = Calibration::for_scenario(scenario);
+        let analysis = Analysis::new(scenario.run(14_000), cal);
+        let report = analysis.report("tomcat-1", analysis.window(interval), &cfg);
+        (analysis, report)
+    });
+
     let mut rt_spikes = Vec::new();
     let mut rt_std = Vec::new();
     let mut pois = Vec::new();
-    for (scenario, label) in [(GC_JDK16, "jdk16"), (GC_JDK15, "jdk15")] {
-        let cal = Calibration::for_scenario(&scenario);
-        let analysis = Analysis::new(scenario.run(14_000), cal);
+    for ((_, label), (analysis, report)) in cases.iter().zip(&computed) {
         let full = analysis.window(interval);
-        let report = analysis.report("tomcat-1", full, &cfg);
         pois.push(report.frozen_intervals());
 
-        if label == "jdk16" {
-            let pts = analysis.scatter_points_eq(&report);
+        if *label == "jdk16" {
+            let pts = analysis.scatter_points_eq(report);
             println!(
                 "{}",
                 plot::scatter(
@@ -58,7 +65,7 @@ pub fn run() -> ExperimentSummary {
             plot::timeline(
                 &format!(
                     "Fig 11({}) response time [s], 1 s means, WL 14,000 ({label})",
-                    if label == "jdk16" { "b" } else { "c" }
+                    if *label == "jdk16" { "b" } else { "c" }
                 ),
                 &coarse,
                 9

@@ -31,24 +31,42 @@ pub struct PlateauOutcome {
     pub fast_clock_windows: usize,
 }
 
-/// Runs one workload of the SpeedStep analysis on `mysql-1`.
-pub fn analyze_mysql(
+/// The compute half of [`analyze_mysql`]: simulates `users` under
+/// `scenario` and runs the full-window `mysql-1` analysis. Safe to run for
+/// several workloads in parallel (see [`crate::par::par_map`]); the plots
+/// and CSVs happen later in [`summarize_mysql`], sequentially, so output
+/// never interleaves.
+pub fn compute_mysql(
     scenario: &Scenario,
     cal: &Calibration,
+    users: u32,
+) -> (Analysis, fgbd_core::detect::ServerReport) {
+    let analysis = Analysis::new(scenario.run(users), Calibration::clone(cal));
+    let full = analysis.window(SimDuration::from_millis(50));
+    let report = analysis.report("mysql-1", full, &DetectorConfig::default());
+    (analysis, report)
+}
+
+/// The render half of [`analyze_mysql`]: plots, CSVs, and the plateau
+/// summary for one already-computed workload.
+pub fn summarize_mysql(
+    analysis: &Analysis,
+    report: &fgbd_core::detect::ServerReport,
+    scenario: &Scenario,
     users: u32,
     fig_label: &str,
     zoom: bool,
 ) -> PlateauOutcome {
-    let analysis = Analysis::new(scenario.run(users), Calibration::clone(cal));
     let cfg = DetectorConfig::default();
     let interval = SimDuration::from_millis(50);
-    let full = analysis.window(interval);
-    let report = analysis.report("mysql-1", full, &cfg);
-    let pts = analysis.scatter_points_eq(&report);
+    let pts = analysis.scatter_points_eq(report);
     println!(
         "{}",
         plot::scatter(
-            &format!("Fig {fig_label} MySQL load vs throughput at WL {users} ({})", scenario.name),
+            &format!(
+                "Fig {fig_label} MySQL load vs throughput at WL {users} ({})",
+                scenario.name
+            ),
             &pts,
             &[],
             64,
@@ -58,8 +76,7 @@ pub fn analyze_mysql(
     write_csv(
         &format!("fig_{}_wl{users}_scatter", scenario.name),
         &["load", "tput_eq_rps"],
-        &pts
-            .iter()
+        &pts.iter()
             .map(|&(l, t)| vec![format!("{l:.3}"), format!("{t:.1}")])
             .collect::<Vec<_>>(),
     );
@@ -77,7 +94,11 @@ pub fn analyze_mysql(
             .collect();
         println!(
             "{}",
-            plot::timeline(&format!("Fig {fig_label} zoom: MySQL load per 50 ms (10 s)"), &loads, 9)
+            plot::timeline(
+                &format!("Fig {fig_label} zoom: MySQL load per 50 ms (10 s)"),
+                &loads,
+                9
+            )
         );
         println!(
             "{}",
@@ -122,11 +143,36 @@ pub fn analyze_mysql(
     }
 }
 
+/// Runs one workload of the SpeedStep analysis on `mysql-1` —
+/// [`compute_mysql`] followed by [`summarize_mysql`].
+pub fn analyze_mysql(
+    scenario: &Scenario,
+    cal: &Calibration,
+    users: u32,
+    fig_label: &str,
+    zoom: bool,
+) -> PlateauOutcome {
+    let (analysis, report) = compute_mysql(scenario, cal, users);
+    summarize_mysql(&analysis, &report, scenario, users, fig_label, zoom)
+}
+
 /// Runs WL 8,000 and 10,000 with SpeedStep enabled.
 pub fn run() -> ExperimentSummary {
     let cal = Calibration::for_scenario(&SPEEDSTEP_ON);
-    let a8 = analyze_mysql(&SPEEDSTEP_ON, &cal, 8_000, "12(a)", false);
-    let a10 = analyze_mysql(&SPEEDSTEP_ON, &cal, 10_000, "12(b)/(c)", true);
+    // Both workloads simulate and analyze in parallel; rendering follows in
+    // input order.
+    let cases = [(8_000u32, "12(a)", false), (10_000, "12(b)/(c)", true)];
+    let computed = crate::par::par_map(&cases, |&(users, _, _)| {
+        compute_mysql(&SPEEDSTEP_ON, &cal, users)
+    });
+    let outcomes: Vec<PlateauOutcome> = cases
+        .iter()
+        .zip(&computed)
+        .map(|(&(users, fig, zoom), (analysis, report))| {
+            summarize_mysql(analysis, report, &SPEEDSTEP_ON, users, fig, zoom)
+        })
+        .collect();
+    let (a8, a10) = (&outcomes[0], &outcomes[1]);
 
     let caps = mysql_capacities();
     let fmt_plateaus = |o: &PlateauOutcome| {
@@ -140,12 +186,12 @@ pub fn run() -> ExperimentSummary {
     s.row(
         "WL 8,000: congested-throughput plateaus",
         "1 main trend (P8) + points above it",
-        format!("{} [{}]", a8.plateaus.len(), fmt_plateaus(&a8)),
+        format!("{} [{}]", a8.plateaus.len(), fmt_plateaus(a8)),
     );
     s.row(
         "WL 10,000: congested-throughput plateaus",
         "multiple clock-determined trends (paper: 3)",
-        format!("{} [{}]", a10.plateaus.len(), fmt_plateaus(&a10)),
+        format!("{} [{}]", a10.plateaus.len(), fmt_plateaus(a10)),
     );
     let named: Vec<String> = match_levels(&a10.plateaus, &caps)
         .iter()
@@ -169,7 +215,10 @@ pub fn run() -> ExperimentSummary {
     s.row(
         "fast-clock congested windows (>1.15x P8 cap)",
         "present only with SpeedStep's clock switching",
-        format!("WL8k: {}, WL10k: {}", a8.fast_clock_windows, a10.fast_clock_windows),
+        format!(
+            "WL8k: {}, WL10k: {}",
+            a8.fast_clock_windows, a10.fast_clock_windows
+        ),
     );
     s.note("each plateau is the Utilization-Law ceiling of one CPU clock: the governor's lag turns clock mismatch into transient bottlenecks");
     s

@@ -3,7 +3,7 @@
 //! and the frequency of transient bottlenecks drops sharply; at WL 10,000
 //! MySQL load stays below N\* most of the time.
 
-use crate::experiments::fig12::analyze_mysql;
+use crate::experiments::fig12::{compute_mysql, summarize_mysql, PlateauOutcome};
 use crate::pipeline::Calibration;
 use crate::report::ExperimentSummary;
 use crate::scenario::{SPEEDSTEP_OFF, SPEEDSTEP_ON};
@@ -11,14 +11,28 @@ use crate::scenario::{SPEEDSTEP_OFF, SPEEDSTEP_ON};
 /// Runs WL 8,000 and 10,000 with SpeedStep disabled and compares against
 /// the enabled twin.
 pub fn run() -> ExperimentSummary {
-    let cal_off = Calibration::for_scenario(&SPEEDSTEP_OFF);
-    let b8 = analyze_mysql(&SPEEDSTEP_OFF, &cal_off, 8_000, "13(a)", false);
-    let b10 = analyze_mysql(&SPEEDSTEP_OFF, &cal_off, 10_000, "13(b)/(c)", true);
-
-    // The enabled twin, for the congestion-frequency comparison rows.
-    let cal_on = Calibration::for_scenario(&SPEEDSTEP_ON);
-    let a8 = analyze_mysql(&SPEEDSTEP_ON, &cal_on, 8_000, "12(a) rerun", false);
-    let a10 = analyze_mysql(&SPEEDSTEP_ON, &cal_on, 10_000, "12(b) rerun", false);
+    // The two calibrations are independent low-load runs; then all four
+    // workload analyses (disabled and enabled twins) simulate in parallel.
+    // Rendering follows in input order, keeping the output deterministic.
+    let cals = crate::par::par_map(&[SPEEDSTEP_OFF, SPEEDSTEP_ON], Calibration::for_scenario);
+    let (cal_off, cal_on) = (&cals[0], &cals[1]);
+    let cases = [
+        (&SPEEDSTEP_OFF, cal_off, 8_000u32, "13(a)", false),
+        (&SPEEDSTEP_OFF, cal_off, 10_000, "13(b)/(c)", true),
+        (&SPEEDSTEP_ON, cal_on, 8_000, "12(a) rerun", false),
+        (&SPEEDSTEP_ON, cal_on, 10_000, "12(b) rerun", false),
+    ];
+    let computed = crate::par::par_map(&cases, |&(scenario, cal, users, _, _)| {
+        compute_mysql(scenario, cal, users)
+    });
+    let outcomes: Vec<PlateauOutcome> = cases
+        .iter()
+        .zip(&computed)
+        .map(|(&(scenario, _, users, fig, zoom), (analysis, report))| {
+            summarize_mysql(analysis, report, scenario, users, fig, zoom)
+        })
+        .collect();
+    let (b8, b10, a8, a10) = (&outcomes[0], &outcomes[1], &outcomes[2], &outcomes[3]);
 
     let mut s = ExperimentSummary::new("fig13");
     s.row(

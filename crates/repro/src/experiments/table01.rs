@@ -50,7 +50,13 @@ pub fn run() -> ExperimentSummary {
     }
     write_csv(
         "table01_utilization",
-        &["server", "cpu_pct", "disk_pct", "net_rx_mbps", "net_tx_mbps"],
+        &[
+            "server",
+            "cpu_pct",
+            "disk_pct",
+            "net_rx_mbps",
+            "net_tx_mbps",
+        ],
         &rows,
     );
     s.note("except Tomcat and MySQL CPU, all resources are far from saturation (matches the paper's conclusion)");

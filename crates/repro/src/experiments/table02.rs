@@ -42,7 +42,11 @@ pub fn run() -> ExperimentSummary {
             format!("{cap:.0}"),
         ]);
     }
-    write_csv("table02_pstates", &["pstate", "mhz", "mysql_capacity_qps"], &rows);
+    write_csv(
+        "table02_pstates",
+        &["pstate", "mhz", "mysql_capacity_qps"],
+        &rows,
+    );
     s.row(
         "P8/P0 clock ratio",
         "~0.53 (lowest is near half speed)",

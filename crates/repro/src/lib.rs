@@ -11,6 +11,8 @@
 //! * [`pipeline`] — capture → spans → service-time calibration → per-server
 //!   fine-grained reports.
 //! * [`sweep`] — parallel workload sweeps.
+//! * [`par`] — the lock-free fork/join helper behind the sweeps and the
+//!   per-server report fan-out.
 //! * [`experiments`] — one module per paper artifact; `experiments::run_all`
 //!   regenerates everything.
 //! * [`plot`] / [`report`] — terminal rendering and CSV/summary output under
@@ -29,6 +31,7 @@
 //! ```
 
 pub mod experiments;
+pub mod par;
 pub mod pipeline;
 pub mod plot;
 pub mod report;

@@ -1,0 +1,105 @@
+//! Lock-free fork/join helper for the harness's embarrassingly parallel
+//! loops (workload sweeps, per-server reports, multi-run figure analysis).
+//!
+//! [`par_map`] applies a job to every item of a slice on a worker pool
+//! sized to the host and returns results aligned with the input order.
+//! Work distribution is a single `AtomicUsize` claim counter — each worker
+//! `fetch_add`s the next index to process — and results never cross a
+//! lock: every worker accumulates `(index, result)` pairs in its own local
+//! `Vec`, the scope join hands those vectors back to the caller's thread,
+//! and a final scatter pass places them in input order. Compared to the
+//! earlier per-slot `Mutex<Option<R>>` collector this removes one lock
+//! acquisition per item and the per-slot mutex allocation, and leaves no
+//! lock to poison or contend on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Applies `job` to every element of `items` in parallel and returns the
+/// results in input order. Falls back to a plain sequential map when the
+/// host offers a single core or there is at most one item.
+///
+/// # Panics
+///
+/// Panics if any `job` invocation panics (the panic is propagated after
+/// all workers have stopped).
+pub fn par_map<T, R, F>(items: &[T], job: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(&job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let locals: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, job(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    })
+    .expect("par_map scope");
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for local in locals {
+        for (i, r) in local {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map covered every index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_job_durations_still_align() {
+        // Later items finish first; order must still follow the input.
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map(&items, |&x| {
+            std::thread::sleep(std::time::Duration::from_micros((32 - x) * 50));
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -115,7 +115,12 @@ impl Analysis {
 
     /// A sub-window starting `offset` after warm-up and lasting `len` — the
     /// paper's 10–12 s zoom plots.
-    pub fn sub_window(&self, offset: SimDuration, len: SimDuration, interval: SimDuration) -> Window {
+    pub fn sub_window(
+        &self,
+        offset: SimDuration,
+        len: SimDuration,
+        interval: SimDuration,
+    ) -> Window {
         let start = self.run.warmup_end + offset;
         Window::new(start, start + len, interval)
     }
@@ -143,6 +148,22 @@ impl Analysis {
             self.cal.work_unit(node),
             cfg,
         )
+    }
+
+    /// Runs the §III analysis for **every** server of the run over
+    /// `window`, one worker per core (see [`crate::par::par_map`]).
+    /// Returns `(name, report)` pairs in the run's server order; servers
+    /// without any spans are skipped.
+    pub fn report_all(&self, window: Window, cfg: &DetectorConfig) -> Vec<(String, ServerReport)> {
+        let servers: Vec<_> = self
+            .run
+            .servers
+            .iter()
+            .filter(|info| !self.spans.server(info.node).is_empty())
+            .collect();
+        crate::par::par_map(&servers, |info| {
+            (info.name.clone(), self.report(&info.name, window, cfg))
+        })
     }
 
     /// End-to-end response-time events `(finish time, seconds)` for
@@ -189,7 +210,10 @@ mod tests {
             // The work-unit GCD is floored at the resolution, so a very
             // cheap tier (C-JDBC, ~94 us/query) can sit just below it.
             let ms = cal.mean_service(node);
-            assert!(ms * 2 >= wu, "mean service far below work unit for {node:?}");
+            assert!(
+                ms * 2 >= wu,
+                "mean service far below work unit for {node:?}"
+            );
         }
     }
 
@@ -215,5 +239,23 @@ mod tests {
         assert!(!analysis.rt_events().is_empty());
         let pts = Analysis::scatter_points(&rep);
         assert_eq!(pts.len(), 320);
+        // The parallel fan-out returns the same verdicts in server order.
+        let all = analysis.report_all(w, &DetectorConfig::default());
+        let names: Vec<&str> = all.iter().map(|(n, _)| n.as_str()).collect();
+        let expected: Vec<&str> = analysis
+            .run
+            .servers
+            .iter()
+            .filter(|i| !analysis.spans.server(i.node).is_empty())
+            .map(|i| i.name.as_str())
+            .collect();
+        assert_eq!(names, expected);
+        let mysql = all
+            .iter()
+            .find(|(n, _)| n == "mysql-1")
+            .map(|(_, r)| r)
+            .expect("mysql-1 analyzed");
+        assert_eq!(mysql.congested_intervals(), rep.congested_intervals());
+        assert_eq!(mysql.states, rep.states);
     }
 }

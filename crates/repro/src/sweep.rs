@@ -3,11 +3,7 @@
 //! seeded by the scenario, so results are identical whatever the worker
 //! count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::thread;
-
 use fgbd_ntier::result::RunResult;
-use parking_lot::Mutex;
 
 use crate::scenario::Scenario;
 
@@ -19,35 +15,13 @@ pub fn run_sweep(scenario: &Scenario, workloads: &[u32]) -> Vec<RunResult> {
 }
 
 /// Generic sweep driver: applies `job` to every workload on a worker pool
-/// sized to the host's parallelism.
+/// sized to the host's parallelism. Results come back in input order; see
+/// [`crate::par::par_map`] for the lock-free collection scheme.
 pub fn run_sweep_with<F>(workloads: &[u32], job: F) -> Vec<RunResult>
 where
     F: Fn(u32) -> RunResult + Sync,
 {
-    let workers = thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(workloads.len().max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunResult>>> =
-        workloads.iter().map(|_| Mutex::new(None)).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= workloads.len() {
-                    break;
-                }
-                let res = job(workloads[i]);
-                *slots[i].lock() = Some(res);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("sweep slot unfilled"))
-        .collect()
+    crate::par::par_map(workloads, |&users| job(users))
 }
 
 #[cfg(test)]

@@ -110,7 +110,11 @@ fn coarse_monitoring_misses_what_the_detector_sees() {
     let cal = calibration(Jdk::Jdk16, true);
     let analysis = Analysis::new(run(8_000, Jdk::Jdk16, true, 30), cal);
     let cfg = DetectorConfig::default();
-    let report = analysis.report("mysql-1", analysis.window(SimDuration::from_millis(50)), &cfg);
+    let report = analysis.report(
+        "mysql-1",
+        analysis.window(SimDuration::from_millis(50)),
+        &cfg,
+    );
     assert!(
         report.congested_intervals() > 20,
         "detector found too little congestion: {}",
@@ -173,11 +177,8 @@ fn tier_level_aggregation_detects_the_same_bottleneck() {
         spans.server(t1).len() + spans.server(t2).len()
     );
 
-    let window = fgbd_core::series::Window::new(
-        run.warmup_end,
-        run.horizon,
-        SimDuration::from_millis(50),
-    );
+    let window =
+        fgbd_core::series::Window::new(run.warmup_end, run.horizon, SimDuration::from_millis(50));
     let tier_report = analyze_server(
         &tier_spans,
         t1, // label only
@@ -205,7 +206,10 @@ fn tier_level_aggregation_detects_the_same_bottleneck() {
         "tier load {tier_mean} vs single {single_mean}"
     );
     assert!(tier_report.congested_intervals() > 0);
-    assert!(tier_report.frozen_intervals() > 0, "tier view lost the POIs");
+    assert!(
+        tier_report.frozen_intervals() > 0,
+        "tier view lost the POIs"
+    );
 }
 
 #[test]
@@ -227,7 +231,10 @@ fn read_write_mix_works_end_to_end() {
     let app = run.node_of("tomcat-1").expect("tomcat");
     let mw = run.node_of("cjdbc").expect("cjdbc");
     let per_page = spans.server(mw).len() as f64 / (2.0 * spans.server(app).len() as f64);
-    assert!(per_page > 1.0 && per_page < 6.0, "queries per page {per_page}");
+    assert!(
+        per_page > 1.0 && per_page < 6.0,
+        "queries per page {per_page}"
+    );
 }
 
 #[test]
@@ -240,11 +247,8 @@ fn operational_laws_hold_on_simulated_captures() {
     let run = run(3_000, Jdk::Jdk16, false, 30);
     let spans = SpanSet::extract(&run.log);
     let node = run.node_of("mysql-1").expect("mysql");
-    let window = fgbd_core::series::Window::new(
-        run.warmup_end,
-        run.horizon,
-        SimDuration::from_secs(1),
-    );
+    let window =
+        fgbd_core::series::Window::new(run.warmup_end, run.horizon, SimDuration::from_secs(1));
     let audit = LittlesLawAudit::run(spans.server(node), &window, 0.10);
     assert!(
         audit.violation_fraction < 0.15,
@@ -256,8 +260,7 @@ fn operational_laws_hold_on_simulated_captures() {
     // ceiling consistent with the calibrated MySQL capacity (~7,100 q/s at
     // P0 with SpeedStep off).
     let idx = run.server_index("mysql-1").expect("mysql");
-    let busy_first = run
-        .cpu_busy[idx]
+    let busy_first = run.cpu_busy[idx]
         .iter()
         .find(|c| c.at >= run.warmup_end)
         .expect("samples")
@@ -269,8 +272,7 @@ fn operational_laws_hold_on_simulated_captures() {
         .filter(|s| s.departure >= run.warmup_end)
         .count() as u64;
     let secs = (run.horizon - run.warmup_end).as_secs_f64();
-    let (demand, tp_max) =
-        utilization_law_ceiling(busy_last - busy_first, completions, 1, secs);
+    let (demand, tp_max) = utilization_law_ceiling(busy_last - busy_first, completions, 1, secs);
     assert!(
         (5_500.0..9_000.0).contains(&tp_max),
         "utilization-law ceiling {tp_max:.0} q/s (demand {:.2} ms) off the calibrated ~7,100",

@@ -156,7 +156,8 @@ pub fn read_capture<R: Read>(mut r: R) -> Result<TraceLog, CaptureError> {
     }
     let n_records = read_u64(&mut r)?;
     let mut log = TraceLog::new(nodes);
-    log.records.reserve(usize::try_from(n_records).unwrap_or(0).min(1 << 28));
+    log.records
+        .reserve(usize::try_from(n_records).unwrap_or(0).min(1 << 28));
     let mut prev = SimTime::ZERO;
     for _ in 0..n_records {
         let at = SimTime::from_micros(read_u64(&mut r)?);

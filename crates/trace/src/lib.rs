@@ -52,5 +52,7 @@ pub mod servicetime;
 pub mod span;
 
 pub use capture::{read_capture, write_capture, CaptureError};
-pub use record::{ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, TraceLog, TxnId};
+pub use record::{
+    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, TraceLog, TxnId,
+};
 pub use span::{Span, SpanSet};

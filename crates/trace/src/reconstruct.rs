@@ -164,13 +164,7 @@ impl Reconstruction {
                         } else {
                             all
                         };
-                        let chosen = choose_parent(
-                            cands,
-                            &spans,
-                            &last_event,
-                            &profile,
-                            heuristic,
-                        );
+                        let chosen = choose_parent(cands, &spans, &last_event, &profile, heuristic);
                         match chosen {
                             Some(p) => {
                                 if cands.len() > 1 {
@@ -241,9 +235,7 @@ impl Reconstruction {
                     }
                     // Feed the fan-out profile from unambiguous spans.
                     if unambiguous[idx] && spans[idx].calls_issued > 0 {
-                        let e = profile
-                            .entry((server, spans[idx].class))
-                            .or_insert((0, 0));
+                        let e = profile.entry((server, spans[idx].class)).or_insert((0, 0));
                         e.0 = e.0.max(spans[idx].calls_issued);
                         e.1 += 1;
                     }
@@ -252,10 +244,7 @@ impl Reconstruction {
         }
 
         for txn in &mut txns {
-            txn.complete = txn
-                .spans
-                .iter()
-                .all(|&i| spans[i].departure.is_some());
+            txn.complete = txn.spans.iter().all(|&i| spans[i].departure.is_some());
         }
 
         Reconstruction { spans, txns }
@@ -292,14 +281,8 @@ fn choose_parent(
     }
     match heuristic {
         Heuristic::LongestQuiescent => longest_quiescent(cands, last_event),
-        Heuristic::MostRecent => cands
-            .iter()
-            .copied()
-            .max_by_key(|&i| (last_event[i], i)),
-        Heuristic::Fifo => cands
-            .iter()
-            .copied()
-            .min_by_key(|&i| (spans[i].arrival, i)),
+        Heuristic::MostRecent => cands.iter().copied().max_by_key(|&i| (last_event[i], i)),
+        Heuristic::Fifo => cands.iter().copied().min_by_key(|&i| (spans[i].arrival, i)),
         Heuristic::ProfileGuided => {
             // Keep candidates that have not yet exhausted their learned
             // fan-out cap; fall back to all candidates if none qualify.
@@ -325,10 +308,7 @@ fn choose_parent(
 }
 
 fn longest_quiescent(cands: &[usize], last_event: &[SimTime]) -> Option<usize> {
-    cands
-        .iter()
-        .copied()
-        .min_by_key(|&i| (last_event[i], i))
+    cands.iter().copied().min_by_key(|&i| (last_event[i], i))
 }
 
 /// Reconstruction quality relative to ground truth.
@@ -457,8 +437,22 @@ mod tests {
         let mut log = TraceLog::new(nodes());
         for (base, truth, conn) in [(0u64, 1u64, 10u32), (1000, 2, 11)] {
             log.push(rec(base + 10, CLIENT, WEB, MsgKind::Request, conn, truth));
-            log.push(rec(base + 20, WEB, APP, MsgKind::Request, 100 + conn, truth));
-            log.push(rec(base + 50, APP, WEB, MsgKind::Response, 100 + conn, truth));
+            log.push(rec(
+                base + 20,
+                WEB,
+                APP,
+                MsgKind::Request,
+                100 + conn,
+                truth,
+            ));
+            log.push(rec(
+                base + 50,
+                APP,
+                WEB,
+                MsgKind::Response,
+                100 + conn,
+                truth,
+            ));
             log.push(rec(base + 60, WEB, CLIENT, MsgKind::Response, conn, truth));
         }
         log
@@ -496,7 +490,11 @@ mod tests {
         log.push(rec(70, APP, WEB, MsgKind::Response, 111, 2));
         log.push(rec(80, WEB, CLIENT, MsgKind::Response, 10, 1));
         log.push(rec(90, WEB, CLIENT, MsgKind::Response, 11, 2));
-        for h in [Heuristic::LongestQuiescent, Heuristic::MostRecent, Heuristic::Fifo] {
+        for h in [
+            Heuristic::LongestQuiescent,
+            Heuristic::MostRecent,
+            Heuristic::Fifo,
+        ] {
             let r = Reconstruction::run(&log, h);
             let acc = Accuracy::evaluate(&r);
             assert_eq!(acc.edge_accuracy, 1.0, "{h:?}");

@@ -79,10 +79,7 @@ impl ServiceTimeTable {
             }
             let intra = (dep - s.arrival).as_secs_f64() - child_wait[i];
             if intra > 0.0 {
-                samples
-                    .entry((s.server, s.class))
-                    .or_default()
-                    .push(intra);
+                samples.entry((s.server, s.class)).or_default().push(intra);
             }
         }
         let mut map = HashMap::new();
@@ -231,9 +228,33 @@ mod tests {
     /// 40us -> web intra-node delay 60us; app service 40us.
     fn one_txn(log: &mut TraceLog, base: u64, conn: u32, truth: u64) {
         log.push(rec(base, CLIENT, WEB, MsgKind::Request, conn, 1, truth));
-        log.push(rec(base + 30, WEB, APP, MsgKind::Request, 100 + conn, 1, truth));
-        log.push(rec(base + 70, APP, WEB, MsgKind::Response, 100 + conn, 1, truth));
-        log.push(rec(base + 100, WEB, CLIENT, MsgKind::Response, conn, 1, truth));
+        log.push(rec(
+            base + 30,
+            WEB,
+            APP,
+            MsgKind::Request,
+            100 + conn,
+            1,
+            truth,
+        ));
+        log.push(rec(
+            base + 70,
+            APP,
+            WEB,
+            MsgKind::Response,
+            100 + conn,
+            1,
+            truth,
+        ));
+        log.push(rec(
+            base + 100,
+            WEB,
+            CLIENT,
+            MsgKind::Response,
+            conn,
+            1,
+            truth,
+        ));
     }
 
     #[test]
@@ -270,7 +291,10 @@ mod tests {
         assert_eq!(t.get(APP, ClassId(2)), Some(SimDuration::from_micros(40)));
         // The high quantile sees the inflated ones.
         let t90 = ServiceTimeTable::approximate(&r, 0.95);
-        assert_eq!(t90.get(APP, ClassId(2)), Some(SimDuration::from_micros(400)));
+        assert_eq!(
+            t90.get(APP, ClassId(2)),
+            Some(SimDuration::from_micros(400))
+        );
     }
 
     #[test]
@@ -278,29 +302,59 @@ mod tests {
         let mut log = TraceLog::new(nodes());
         // Early window: 40us services; late window: 80us (drift).
         for i in 0..4u64 {
-            log.push(rec(i * 100, WEB, APP, MsgKind::Request, 300 + i as u32, 3, i));
-            log.push(rec(i * 100 + 40, APP, WEB, MsgKind::Response, 300 + i as u32, 3, i));
+            log.push(rec(
+                i * 100,
+                WEB,
+                APP,
+                MsgKind::Request,
+                300 + i as u32,
+                3,
+                i,
+            ));
+            log.push(rec(
+                i * 100 + 40,
+                APP,
+                WEB,
+                MsgKind::Response,
+                300 + i as u32,
+                3,
+                i,
+            ));
         }
         for i in 0..4u64 {
             let base = 1_000_000 + i * 100;
-            log.push(rec(base, WEB, APP, MsgKind::Request, 400 + i as u32, 3, 10 + i));
-            log.push(rec(base + 80, APP, WEB, MsgKind::Response, 400 + i as u32, 3, 10 + i));
+            log.push(rec(
+                base,
+                WEB,
+                APP,
+                MsgKind::Request,
+                400 + i as u32,
+                3,
+                10 + i,
+            ));
+            log.push(rec(
+                base + 80,
+                APP,
+                WEB,
+                MsgKind::Response,
+                400 + i as u32,
+                3,
+                10 + i,
+            ));
         }
         let r = Reconstruction::run(&log, Heuristic::LongestQuiescent);
-        let early = ServiceTimeTable::approximate_window(
-            &r,
-            0.5,
-            SimTime::ZERO,
-            SimTime::from_millis(500),
+        let early =
+            ServiceTimeTable::approximate_window(&r, 0.5, SimTime::ZERO, SimTime::from_millis(500));
+        let late =
+            ServiceTimeTable::approximate_window(&r, 0.5, SimTime::from_millis(500), SimTime::MAX);
+        assert_eq!(
+            early.get(APP, ClassId(3)),
+            Some(SimDuration::from_micros(40))
         );
-        let late = ServiceTimeTable::approximate_window(
-            &r,
-            0.5,
-            SimTime::from_millis(500),
-            SimTime::MAX,
+        assert_eq!(
+            late.get(APP, ClassId(3)),
+            Some(SimDuration::from_micros(80))
         );
-        assert_eq!(early.get(APP, ClassId(3)), Some(SimDuration::from_micros(40)));
-        assert_eq!(late.get(APP, ClassId(3)), Some(SimDuration::from_micros(80)));
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl SpanSet {
                     open.entry((server, rec.conn)).or_default().push_back(*rec);
                 }
                 MsgKind::Response => {
-                    match open.get_mut(&(server, rec.conn)).and_then(VecDeque::pop_front) {
+                    match open
+                        .get_mut(&(server, rec.conn))
+                        .and_then(VecDeque::pop_front)
+                    {
                         Some(req) => {
                             by_server.entry(server).or_default().push(Span {
                                 server,

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Runs the analysis benchmarks and condenses Criterion's estimates into a
+# single BENCH_analysis.json at the repo root: { "<bench id>": median_ns }.
+#
+#   scripts/bench.sh            # bench + summarize
+#   scripts/bench.sh --no-run   # summarize an existing target/criterion
+set -e
+cd "$(dirname "$0")/.."
+
+if [ "$1" != "--no-run" ]; then
+    cargo bench -p fgbd-bench --bench analysis
+fi
+
+python3 - <<'EOF'
+import json
+import os
+
+# Criterion normally writes to the workspace target dir, but depending on
+# CARGO_TARGET_DIR / cwd the tree can land under the bench package instead.
+roots = [r for r in ("target/criterion", "crates/bench/target/criterion")
+         if os.path.isdir(r)]
+out = {}
+for root in roots:
+    for dirpath, _dirnames, filenames in os.walk(root):
+        if "estimates.json" not in filenames:
+            continue
+        # Criterion writes <id>/new/estimates.json (and keeps a <id>/base
+        # copy); only the fresh measurement is wanted.
+        if os.path.basename(dirpath) != "new":
+            continue
+        bench_id = os.path.relpath(os.path.dirname(dirpath), root)
+        with open(os.path.join(dirpath, "estimates.json")) as f:
+            est = json.load(f)
+        out[bench_id] = est["median"]["point_estimate"]
+
+with open("BENCH_analysis.json", "w") as f:
+    json.dump(dict(sorted(out.items())), f, indent=2)
+    f.write("\n")
+print(f"wrote BENCH_analysis.json ({len(out)} benches)")
+EOF
