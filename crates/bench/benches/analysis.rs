@@ -12,7 +12,10 @@ use fgbd_core::plateau::{find_plateaus, PlateauConfig};
 use fgbd_core::series::{reference, LoadSeries, SeriesSet, ThroughputSeries, Window};
 use fgbd_core::stats;
 use fgbd_des::{Dice, SimDuration, SimTime};
+use fgbd_ntier::Jdk;
+use fgbd_repro::pipeline::{Analysis, Calibration};
 use fgbd_trace::capture::{read_capture, write_capture};
+use fgbd_trace::reconstruct::{reference as rec_reference, Heuristic, Reconstruction};
 use fgbd_trace::servicetime::ServiceTimeTable;
 use fgbd_trace::{
     ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, Span, TraceLog, TxnId,
@@ -342,6 +345,148 @@ fn bench_capture(c: &mut Criterion) {
     group.finish();
 }
 
+/// A high-concurrency, ambiguity-heavy capture: up to 64 transactions in
+/// flight on one web server, all of the *same class*, each issuing several
+/// app calls at random interleavings. Nearly every downstream call has many
+/// unblocked same-class candidate parents — the worst case for parent
+/// attribution, and the workload where the dense-index fast path's
+/// per-record cost dominates.
+fn ambiguous_log(txns: u64, seed: u64) -> TraceLog {
+    const CLIENT: NodeId = NodeId(0);
+    const WEB: NodeId = NodeId(1);
+    const APP: NodeId = NodeId(2);
+    let nodes = vec![
+        NodeMeta {
+            id: CLIENT,
+            name: "clients".into(),
+            kind: NodeKind::Client,
+            tier: None,
+        },
+        NodeMeta {
+            id: WEB,
+            name: "web-1".into(),
+            kind: NodeKind::Server,
+            tier: Some(0),
+        },
+        NodeMeta {
+            id: APP,
+            name: "app-1".into(),
+            kind: NodeKind::Server,
+            tier: Some(1),
+        },
+    ];
+    let mut dice = Dice::seed(seed);
+    let mut log = TraceLog::new(nodes);
+    // Per active txn: (id, calls remaining, waiting-on-response flag,
+    // current call conn).
+    let mut active: Vec<(u64, u32, bool, u32)> = Vec::new();
+    let mut next_txn = 0u64;
+    let mut t = 0u64;
+    while next_txn < txns || !active.is_empty() {
+        t += 1 + dice.index(4) as u64;
+        let at = SimTime::from_micros(t);
+        if next_txn < txns && (active.len() < 64 && (active.is_empty() || dice.chance(0.4))) {
+            let id = next_txn;
+            next_txn += 1;
+            log.push(MsgRecord {
+                at,
+                src: CLIENT,
+                dst: WEB,
+                kind: MsgKind::Request,
+                conn: ConnId(id as u32),
+                class: ClassId(0),
+                bytes: 100,
+                truth: Some(TxnId(id)),
+            });
+            active.push((id, 2 + dice.index(4) as u32, false, 0));
+            continue;
+        }
+        let i = dice.index(active.len());
+        let (id, calls_left, waiting, conn) = active[i];
+        if waiting {
+            log.push(MsgRecord {
+                at,
+                src: APP,
+                dst: WEB,
+                kind: MsgKind::Response,
+                conn: ConnId(conn),
+                class: ClassId(0),
+                bytes: 400,
+                truth: Some(TxnId(id)),
+            });
+            active[i] = (id, calls_left - 1, false, 0);
+        } else if calls_left > 0 {
+            let cc = 1_000_000 + (id * 16 + u64::from(calls_left)) as u32;
+            log.push(MsgRecord {
+                at,
+                src: WEB,
+                dst: APP,
+                kind: MsgKind::Request,
+                conn: ConnId(cc),
+                class: ClassId(0),
+                bytes: 200,
+                truth: Some(TxnId(id)),
+            });
+            active[i] = (id, calls_left, true, cc);
+        } else {
+            log.push(MsgRecord {
+                at,
+                src: WEB,
+                dst: CLIENT,
+                kind: MsgKind::Response,
+                conn: ConnId(id as u32),
+                class: ClassId(0),
+                bytes: 800,
+                truth: Some(TxnId(id)),
+            });
+            active.swap_remove(i);
+        }
+    }
+    log
+}
+
+/// Dense-index fast path vs the `HashMap`-keyed reference on the
+/// high-concurrency ambiguity-heavy workload, for the default heuristic and
+/// the profile-guided one (which additionally exercises the learned fan-out
+/// table).
+fn bench_reconstruction(c: &mut Criterion) {
+    let log = ambiguous_log(10_000, 23);
+    let mut group = c.benchmark_group("reconstruction");
+    group.throughput(criterion::Throughput::Elements(log.records.len() as u64));
+    group.bench_function("fast_longest_quiescent", |b| {
+        b.iter(|| Reconstruction::run(black_box(&log), Heuristic::LongestQuiescent));
+    });
+    group.bench_function("reference_longest_quiescent", |b| {
+        b.iter(|| rec_reference::run(black_box(&log), Heuristic::LongestQuiescent));
+    });
+    group.bench_function("fast_profile_guided", |b| {
+        b.iter(|| Reconstruction::run(black_box(&log), Heuristic::ProfileGuided));
+    });
+    group.bench_function("reference_profile_guided", |b| {
+        b.iter(|| rec_reference::run(black_box(&log), Heuristic::ProfileGuided));
+    });
+    group.finish();
+}
+
+/// End-to-end pipeline at benchmark scale: simulate the paper topology,
+/// reconstruct the capture, calibrate service times, and run the detector
+/// over every server — the unit of work every sweep point and figure driver
+/// repeats.
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("simulate_reconstruct_calibrate_detect", |b| {
+        b.iter(|| {
+            let run = fgbd_bench::short_run(150, Jdk::Jdk16, false, true);
+            let cal = Calibration::from_run(&run);
+            let analysis = Analysis::new(run, cal);
+            let window = analysis.window(SimDuration::from_millis(50));
+            analysis.report_all(window, &DetectorConfig::default())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_series,
@@ -350,6 +495,8 @@ criterion_group!(
     bench_nstar,
     bench_detector,
     bench_plateau,
-    bench_capture
+    bench_capture,
+    bench_reconstruction,
+    bench_pipeline
 );
 criterion_main!(benches);

@@ -14,7 +14,8 @@
 //! and freezes (stop-the-world garbage collection), the two transient-event
 //! mechanisms studied in the paper.
 
-use std::collections::{BTreeMap, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -72,7 +73,14 @@ pub struct PsIntegrator {
     /// Per-job attained service accumulator (work-units).
     attained: f64,
     last_update: SimTime,
-    jobs: BTreeMap<Key, JobId>,
+    /// Min-heap of completion thresholds, with **lazy deletion**: [`Self::remove`]
+    /// only drops the `index` entry, and stale heap entries are skipped when
+    /// they surface at the top. This keeps the hot event loop on a flat
+    /// `Vec`-backed heap (push/pop touch contiguous memory, and the retained
+    /// capacity means no per-event allocation at steady state) instead of
+    /// node-allocating `BTreeMap` rebalances.
+    jobs: BinaryHeap<Reverse<(Key, JobId)>>,
+    /// Live jobs and their current keys — the source of truth for membership.
     index: HashMap<JobId, Key>,
     seq: u64,
     /// Integral of occupied cores over time (core-seconds of job progress).
@@ -94,7 +102,7 @@ impl PsIntegrator {
             frozen: false,
             attained: 0.0,
             last_update: SimTime::ZERO,
-            jobs: BTreeMap::new(),
+            jobs: BinaryHeap::new(),
             index: HashMap::new(),
             seq: 0,
             busy_core_seconds: 0.0,
@@ -103,10 +111,10 @@ impl PsIntegrator {
 
     /// Current per-job progress rate in work-units per second.
     fn per_job_rate(&self) -> f64 {
-        if self.frozen || self.jobs.is_empty() {
+        if self.frozen || self.index.is_empty() {
             return 0.0;
         }
-        let n = self.jobs.len() as f64;
+        let n = self.index.len() as f64;
         self.speed * (self.cores as f64 / n).min(1.0)
     }
 
@@ -115,7 +123,20 @@ impl PsIntegrator {
         if self.frozen {
             return 0.0;
         }
-        (self.jobs.len() as f64).min(self.cores as f64)
+        (self.index.len() as f64).min(self.cores as f64)
+    }
+
+    /// Discards lazily-deleted heap entries until the top is live, and
+    /// returns it. A heap entry is live iff it matches the job's current key
+    /// in `index`.
+    fn live_top(&mut self) -> Option<(Key, JobId)> {
+        while let Some(&Reverse((key, job))) = self.jobs.peek() {
+            if self.index.get(&job) == Some(&key) {
+                return Some((key, job));
+            }
+            self.jobs.pop();
+        }
+        None
     }
 
     /// Integrates progress up to `now`.
@@ -184,15 +205,15 @@ impl PsIntegrator {
         self.seq += 1;
         let prev = self.index.insert(job, key);
         assert!(prev.is_none(), "job inserted twice: {job:?}");
-        self.jobs.insert(key, job);
+        self.jobs.push(Reverse((key, job)));
     }
 
     /// Removes a job before completion, returning its remaining work-units,
-    /// or `None` if the job is not present.
+    /// or `None` if the job is not present. The heap entry is deleted lazily
+    /// when it surfaces at the top.
     pub fn remove(&mut self, now: SimTime, job: JobId) -> Option<f64> {
         self.advance(now);
         let key = self.index.remove(&job)?;
-        self.jobs.remove(&key);
         Some((key.threshold() - self.attained).max(0.0))
     }
 
@@ -205,48 +226,58 @@ impl PsIntegrator {
         if rate <= 0.0 {
             return None;
         }
-        let min_thr = self.jobs.keys().next()?.threshold();
+        let min_thr = self.live_top()?.0.threshold();
         let remaining = (min_thr - self.attained).max(0.0);
         let dt_us = (remaining / rate * 1e6).ceil() as u64;
         now.checked_add(SimDuration::from_micros(dt_us))
     }
 
     /// Pops every job whose service demand has been met by `now`, in
-    /// completion order.
-    pub fn pop_due(&mut self, now: SimTime) -> Vec<JobId> {
+    /// completion order, appending them to `out` (which is cleared first).
+    /// The caller owns the buffer, so the steady-state event loop can reuse
+    /// one allocation for every completion batch.
+    pub fn pop_due_into(&mut self, now: SimTime, out: &mut Vec<JobId>) {
+        out.clear();
         self.advance(now);
         // Completion events are scheduled at the microsecond *after* the true
         // completion instant (ceil), so attained has met the threshold up to
         // f64 rounding noise; the epsilon absorbs that noise.
         let eps = 1e-9 + self.attained.abs() * 1e-12;
-        let mut done = Vec::new();
-        while let Some((&key, &job)) = self.jobs.iter().next() {
+        while let Some((key, job)) = self.live_top() {
             if key.threshold() <= self.attained + eps {
-                self.jobs.remove(&key);
+                self.jobs.pop();
                 self.index.remove(&job);
-                done.push(job);
+                out.push(job);
             } else {
                 break;
             }
         }
+    }
+
+    /// Pops every job whose service demand has been met by `now`, in
+    /// completion order. Allocates a fresh buffer; hot loops should prefer
+    /// [`Self::pop_due_into`].
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<JobId> {
+        let mut done = Vec::new();
+        self.pop_due_into(now, &mut done);
         done
     }
 
     /// Number of jobs currently in service.
     pub fn len(&self) -> usize {
-        self.jobs.len()
+        self.index.len()
     }
 
     /// `true` if no jobs are in service.
     pub fn is_empty(&self) -> bool {
-        self.jobs.is_empty()
+        self.index.is_empty()
     }
 
     /// Remaining work across all jobs, in work-units, as of `now`.
     pub fn backlog(&mut self, now: SimTime) -> f64 {
         self.advance(now);
-        self.jobs
-            .keys()
+        self.index
+            .values()
             .map(|k| (k.threshold() - self.attained).max(0.0))
             .sum()
     }
@@ -402,6 +433,43 @@ mod tests {
             (attained_total - inserted).abs() < inserted * 1e-3 + 1.0,
             "in={inserted} out={attained_total}"
         );
+    }
+
+    #[test]
+    fn removed_job_is_skipped_by_lazy_deletion() {
+        let mut ps = PsIntegrator::new(100.0, 2);
+        ps.insert(SimTime::ZERO, JobId(1), 10.0); // would complete first
+        ps.insert(SimTime::ZERO, JobId(2), 50.0);
+        ps.remove(SimTime::ZERO, JobId(1));
+        assert_eq!(ps.len(), 1);
+        // The stale heap entry for job 1 must not drive the completion time.
+        assert_eq!(ps.next_completion(SimTime::ZERO), Some(t(500)));
+        assert_eq!(ps.pop_due(t(500)), vec![JobId(2)]);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn reinserted_job_uses_its_new_threshold() {
+        let mut ps = PsIntegrator::new(100.0, 1);
+        ps.insert(SimTime::ZERO, JobId(1), 10.0);
+        ps.remove(SimTime::ZERO, JobId(1));
+        // Same id, new demand: the stale (smaller) heap entry must be
+        // ignored even though the job id matches.
+        ps.insert(SimTime::ZERO, JobId(1), 80.0);
+        assert_eq!(ps.next_completion(SimTime::ZERO), Some(t(800)));
+        assert_eq!(ps.pop_due(t(800)), vec![JobId(1)]);
+    }
+
+    #[test]
+    fn pop_due_into_clears_and_reuses_the_buffer() {
+        let mut ps = PsIntegrator::new(100.0, 1);
+        let mut buf = vec![JobId(99)]; // stale content must be cleared
+        ps.insert(SimTime::ZERO, JobId(1), 50.0);
+        ps.pop_due_into(t(500), &mut buf);
+        assert_eq!(buf, vec![JobId(1)]);
+        ps.insert(t(500), JobId(2), 50.0);
+        ps.pop_due_into(t(1000), &mut buf);
+        assert_eq!(buf, vec![JobId(2)]);
     }
 
     #[test]

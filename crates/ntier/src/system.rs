@@ -66,13 +66,68 @@ enum Segment {
     Call,
 }
 
+/// Segment capacity held inline in a [`SegVec`]. The longest plan is an app
+/// visit with `q` calls interleaved with `q + 1` CPU slices (`2q + 1`
+/// segments); the paper's RUBBoS mix tops out at `q = 8` and calibration
+/// keeps `q` near that, so 24 covers every realistic plan with headroom.
+const SEGS_INLINE: usize = 24;
+
+/// Inline small-vector of [`Segment`]s: visit plans live inside the `Visit`
+/// struct up to [`SEGS_INLINE`] entries and only spill to the heap for
+/// pathological configurations, so building a plan per request allocates
+/// nothing at steady state.
+#[derive(Debug)]
+struct SegVec {
+    len: u32,
+    inline: [Segment; SEGS_INLINE],
+    spill: Vec<Segment>,
+}
+
+impl SegVec {
+    fn new() -> SegVec {
+        SegVec {
+            len: 0,
+            inline: [Segment::Call; SEGS_INLINE],
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, seg: Segment) {
+        let i = self.len as usize;
+        if i < SEGS_INLINE {
+            self.inline[i] = seg;
+        } else {
+            self.spill.push(seg);
+        }
+        self.len += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn get(&self, i: usize) -> Segment {
+        assert!(i < self.len(), "segment index {i} out of bounds");
+        if i < SEGS_INLINE {
+            self.inline[i]
+        } else {
+            self.spill[i - SEGS_INLINE]
+        }
+    }
+
+    #[cfg(test)]
+    fn iter(&self) -> impl Iterator<Item = Segment> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
 #[derive(Debug)]
 struct Visit {
     txn: u64,
     class: u16,
     parent: Parent,
     conn: u32,
-    segs: Vec<Segment>,
+    segs: SegVec,
     seg: usize,
 }
 
@@ -258,6 +313,9 @@ pub struct NTierSystem {
     workload_dice: Dice,
     burst_dice: Dice,
     class_weights: Vec<f64>,
+    /// Reusable completion-batch buffer for the `CpuDone` handler, so the
+    /// steady-state event loop never allocates per event.
+    cpu_done: Vec<JobId>,
 }
 
 const CLIENT_NODE: NodeId = NodeId(0);
@@ -376,6 +434,7 @@ impl NTierSystem {
             workload_dice,
             burst_dice,
             class_weights,
+            cpu_done: Vec::new(),
             cfg,
         }
     }
@@ -445,7 +504,7 @@ impl NTierSystem {
         self.workload_dice.weighted(&self.class_weights) as u16
     }
 
-    fn sample_segments(&mut self, now: SimTime, server: usize, class_id: u16) -> Vec<Segment> {
+    fn sample_segments(&mut self, now: SimTime, server: usize, class_id: u16) -> SegVec {
         let tiers = self.tiers.len();
         let tier = self.servers[server].tier;
         // Service-time drift (paper §III-B): demands grow linearly with
@@ -463,30 +522,33 @@ impl NTierSystem {
         );
         let dice = &mut self.servers[server].dice;
         let mut sample = |mean: f64| dice.lognormal_mean_cv((mean * drift).max(1e-6), cv);
+        let mut segs = SegVec::new();
         match role_of(tier, tiers) {
             Role::Web => {
                 let d = sample(web_mc);
-                vec![Segment::Cpu(d / 2.0), Segment::Call, Segment::Cpu(d / 2.0)]
+                segs.push(Segment::Cpu(d / 2.0));
+                segs.push(Segment::Call);
+                segs.push(Segment::Cpu(d / 2.0));
             }
             Role::App => {
                 let d = sample(app_mc);
                 let q = queries;
                 if q == 0 {
-                    vec![Segment::Cpu(d)]
+                    segs.push(Segment::Cpu(d));
                 } else {
                     let slice = d / f64::from(q + 1);
-                    let mut segs = Vec::with_capacity(2 * q as usize + 1);
                     segs.push(Segment::Cpu(slice));
                     for _ in 0..q {
                         segs.push(Segment::Call);
                         segs.push(Segment::Cpu(slice));
                     }
-                    segs
                 }
             }
             Role::Middleware => {
                 let d = sample(mw_mc);
-                vec![Segment::Cpu(d / 2.0), Segment::Call, Segment::Cpu(d / 2.0)]
+                segs.push(Segment::Cpu(d / 2.0));
+                segs.push(Segment::Call);
+                segs.push(Segment::Cpu(d / 2.0));
             }
             Role::Db => {
                 let d = sample(db_mc);
@@ -496,16 +558,15 @@ impl NTierSystem {
                     SimDuration::ZERO
                 };
                 if wait.is_zero() {
-                    vec![Segment::Cpu(d)]
+                    segs.push(Segment::Cpu(d));
                 } else {
-                    vec![
-                        Segment::Cpu(d / 2.0),
-                        Segment::Wait(wait),
-                        Segment::Cpu(d / 2.0),
-                    ]
+                    segs.push(Segment::Cpu(d / 2.0));
+                    segs.push(Segment::Wait(wait));
+                    segs.push(Segment::Cpu(d / 2.0));
                 }
             }
         }
+        segs
     }
 
     fn parent_node(&self, parent: Parent) -> NodeId {
@@ -592,7 +653,7 @@ impl NTierSystem {
     ) {
         let (seg, txn, class) = {
             let v = &self.servers[server].visits[&visit];
-            (v.segs[v.seg], v.txn, v.class)
+            (v.segs.get(v.seg), v.txn, v.class)
         };
         match seg {
             Segment::Cpu(mc) => {
@@ -862,8 +923,9 @@ impl Actor for NTierSystem {
                 conn,
             } => {
                 debug_assert!(matches!(
-                    self.servers[server].visits[&visit].segs
-                        [self.servers[server].visits[&visit].seg],
+                    self.servers[server].visits[&visit]
+                        .segs
+                        .get(self.servers[server].visits[&visit].seg),
                     Segment::Call
                 ));
                 self.conn_pools[link as usize].release(conn);
@@ -886,10 +948,14 @@ impl Actor for NTierSystem {
                 if gen != self.servers[server].cpu_gen {
                     return;
                 }
-                let done = self.servers[server].ps.pop_due(now);
-                for JobId(visit) in done {
+                // Drain into the reusable batch buffer (taken out of `self`
+                // so `advance_visit` can borrow the system mutably).
+                let mut done = std::mem::take(&mut self.cpu_done);
+                self.servers[server].ps.pop_due_into(now, &mut done);
+                for &JobId(visit) in &done {
                     self.advance_visit(now, server, visit, sched);
                 }
+                self.cpu_done = done;
                 self.reschedule_cpu(now, server, sched);
             }
             Ev::WaitDone { server, visit } => {
@@ -1054,17 +1120,32 @@ mod tests {
         // Web (server 0): pre-CPU, one call, post-CPU.
         let web = sys.sample_segments(SimTime::ZERO, 0, 0);
         assert_eq!(web.len(), 3);
-        assert!(matches!(web[0], Segment::Cpu(_)));
-        assert!(matches!(web[1], Segment::Call));
-        // App (server 1): q calls interleaved with q+1 CPU slices.
+        assert!(matches!(web.get(0), Segment::Cpu(_)));
+        assert!(matches!(web.get(1), Segment::Call));
+        // App (server 1): q calls interleaved with q+1 CPU slices — and the
+        // whole plan fits the SegVec inline capacity (no heap spill).
         let q = sys.cfg.mix.class(0).queries as usize;
         let app = sys.sample_segments(SimTime::ZERO, 1, 0);
         assert_eq!(app.len(), 2 * q + 1);
         assert_eq!(app.iter().filter(|s| matches!(s, Segment::Call)).count(), q);
+        assert!(app.len() <= SEGS_INLINE && app.spill.is_empty());
         // Db (server 4): CPU around a non-CPU wait, no calls.
         let db = sys.sample_segments(SimTime::ZERO, 4, 0);
         assert!(db.iter().all(|s| !matches!(s, Segment::Call)));
         assert!(db.iter().any(|s| matches!(s, Segment::Wait(_))));
+    }
+
+    #[test]
+    fn segvec_spills_past_inline_capacity() {
+        let mut v = SegVec::new();
+        for i in 0..(SEGS_INLINE + 5) {
+            v.push(Segment::Cpu(i as f64));
+        }
+        assert_eq!(v.len(), SEGS_INLINE + 5);
+        for i in 0..v.len() {
+            assert!(matches!(v.get(i), Segment::Cpu(d) if d == i as f64));
+        }
+        assert_eq!(v.spill.len(), 5);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Verifies the zero-allocation ingestion fast path on the simulator side:
+//! once the default scenario reaches steady state (queue capacities grown,
+//! connection pools warmed, PS heaps at working size), the event loop
+//! performs essentially no heap allocation per event. The only residual
+//! allocations are the amortized doublings of the result-recording vectors
+//! (transaction samples, GC events, CPU samples), which is why the bound is
+//! a small fraction of the event count rather than exactly zero.
+//!
+//! This test lives in its own integration-test binary because it installs a
+//! counting `#[global_allocator]` for the whole process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fgbd_des::{SimTime, Simulation};
+use fgbd_ntier::{Ev, Jdk, NTierSystem, SystemConfig};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers to `System` for every operation; only adds a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_event_loop_is_allocation_free() {
+    let mut cfg = SystemConfig::paper_1l2s1l2s(100, Jdk::Jdk16, false, 7);
+    // Capture mode intentionally appends one record per message; the
+    // allocation-free claim is about the event loop itself.
+    cfg.capture = false;
+
+    let mut sim = Simulation::new(NTierSystem::new(cfg));
+    sim.prime(SimTime::ZERO, Ev::Boot);
+    // Warm up: grow event-queue/PS-heap capacities, connection pools, visit
+    // tables, and the first result-vector doublings.
+    sim.run_until(SimTime::from_secs(20));
+
+    let events_before = sim.events_processed();
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    sim.run_until(SimTime::from_secs(60));
+    let events = sim.events_processed() - events_before;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+
+    assert!(
+        events > 20_000,
+        "window too small to judge: {events} events"
+    );
+    assert!(
+        (allocs as f64) < (events as f64) * 0.01,
+        "steady-state loop allocated too often: {allocs} allocations over {events} events"
+    );
+}

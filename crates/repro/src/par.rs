@@ -12,12 +12,23 @@
 //! acquisition per item and the per-slot mutex allocation, and leaves no
 //! lock to poison or contend on.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
+thread_local! {
+    /// Set while the current thread is a [`par_map`] worker. Nested calls
+    /// see it and run inline: one level of parallelism already saturates
+    /// the host, so spawning `workers²` threads would only oversubscribe
+    /// (see the ROADMAP note on nested parallel maps).
+    static IN_PAR_MAP: Cell<bool> = const { Cell::new(false) };
+}
+
 /// Applies `job` to every element of `items` in parallel and returns the
 /// results in input order. Falls back to a plain sequential map when the
-/// host offers a single core or there is at most one item.
+/// host offers a single core, there is at most one item, or the call is
+/// already running inside another `par_map` (nested calls run inline on
+/// the calling worker thread instead of oversubscribing the host).
 ///
 /// # Panics
 ///
@@ -34,7 +45,7 @@ where
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(n);
-    if workers <= 1 {
+    if workers <= 1 || IN_PAR_MAP.get() {
         return items.iter().map(&job).collect();
     }
 
@@ -43,6 +54,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|_| {
+                    IN_PAR_MAP.set(true);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -90,6 +102,23 @@ mod tests {
         let none: Vec<u32> = Vec::new();
         assert!(par_map(&none, |&x| x).is_empty());
         assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline_without_oversubscription() {
+        let outer: Vec<u32> = (0..8).collect();
+        let results = par_map(&outer, |&x| {
+            let outer_thread = std::thread::current().id();
+            let inner: Vec<u32> = (0..16).collect();
+            let inner_runs = par_map(&inner, |&y| (std::thread::current().id(), x + y));
+            // The nested call must have executed inline: every inner job on
+            // the same thread as its enclosing outer job, no second tier of
+            // workers spawned.
+            assert!(inner_runs.iter().all(|&(tid, _)| tid == outer_thread));
+            inner_runs.iter().map(|&(_, v)| v).sum::<u32>()
+        });
+        let expected: Vec<u32> = outer.iter().map(|x| (0..16).map(|y| x + y).sum()).collect();
+        assert_eq!(results, expected);
     }
 
     #[test]

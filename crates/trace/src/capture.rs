@@ -218,33 +218,45 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64, CaptureError> {
 }
 
 impl TraceLog {
-    /// A copy restricted to records in `[from, to)` — for zooming into an
-    /// episode before analysis.
-    pub fn slice_time(&self, from: SimTime, to: SimTime) -> TraceLog {
+    /// A copy of this log with `records` substituted — the shared tail of
+    /// every slicing operation.
+    fn with_records(&self, records: Vec<MsgRecord>) -> TraceLog {
         TraceLog {
             nodes: self.nodes.clone(),
-            records: self
-                .records
-                .iter()
-                .filter(|r| r.at >= from && r.at < to)
-                .copied()
-                .collect(),
+            records,
         }
+    }
+
+    /// A copy restricted to records in `[from, to)` — for zooming into an
+    /// episode before analysis.
+    ///
+    /// Relies on the time-ordered append invariant of [`TraceLog::push`]
+    /// (also enforced by [`read_capture`]): the window is located by binary
+    /// search and copied as one contiguous range instead of scanning every
+    /// record. Debug builds assert the invariant; a release build fed a
+    /// hand-assembled unsorted log would silently slice on the first
+    /// partition points only.
+    pub fn slice_time(&self, from: SimTime, to: SimTime) -> TraceLog {
+        debug_assert!(
+            self.records.windows(2).all(|w| w[0].at <= w[1].at),
+            "slice_time requires time-ordered records"
+        );
+        let lo = self.records.partition_point(|r| r.at < from);
+        let hi = lo + self.records[lo..].partition_point(|r| r.at < to);
+        self.with_records(self.records[lo..hi].to_vec())
     }
 
     /// A copy keeping only messages that touch `node` (as sender or
     /// receiver) — the per-server view a tap on that server's switch port
     /// would capture.
     pub fn slice_node(&self, node: NodeId) -> TraceLog {
-        TraceLog {
-            nodes: self.nodes.clone(),
-            records: self
-                .records
+        self.with_records(
+            self.records
                 .iter()
                 .filter(|r| r.src == node || r.dst == node)
                 .copied()
                 .collect(),
-        }
+        )
     }
 }
 
@@ -339,6 +351,51 @@ mod tests {
             .records
             .iter()
             .all(|r| r.at >= SimTime::from_micros(100) && r.at < SimTime::from_micros(200)));
+    }
+
+    #[test]
+    fn slice_time_handles_empty_and_boundary_windows() {
+        let log = demo_log();
+        assert!(log
+            .slice_time(SimTime::from_micros(5000), SimTime::from_micros(6000))
+            .records
+            .is_empty());
+        assert!(log
+            .slice_time(SimTime::from_micros(200), SimTime::from_micros(200))
+            .records
+            .is_empty());
+        // Full-range slice copies everything.
+        assert_eq!(
+            log.slice_time(SimTime::ZERO, SimTime::from_micros(u64::MAX))
+                .records
+                .len(),
+            100
+        );
+        // Duplicate timestamps all land on the same side of the cut.
+        let mut dup = demo_log();
+        let last = *dup.records.last().unwrap();
+        for _ in 0..3 {
+            dup.push(MsgRecord {
+                at: SimTime::from_micros(990),
+                ..last
+            });
+        }
+        let sliced = dup.slice_time(SimTime::from_micros(990), SimTime::from_micros(991));
+        assert_eq!(sliced.records.len(), 4);
+    }
+
+    /// `slice_time` documents the time-ordered invariant and debug-asserts
+    /// it: a hand-assembled unsorted log must panic rather than silently
+    /// return a wrong window. (`TraceLog::push` and `read_capture` both
+    /// refuse to produce unsorted logs, so only manual construction can
+    /// violate this.)
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time-ordered")]
+    fn slice_time_panics_on_unsorted_log_in_debug() {
+        let mut log = demo_log();
+        log.records.swap(10, 50);
+        let _ = log.slice_time(SimTime::from_micros(100), SimTime::from_micros(200));
     }
 
     #[test]

@@ -31,8 +31,32 @@
 //! (single-candidate) situations and uses them to rule out parents that
 //! already issued their full complement of calls. [`Accuracy`] scores any
 //! reconstruction against simulator ground truth.
+//!
+//! # The ingestion fast path
+//!
+//! Reconstruction is re-run on every capture a sweep or figure driver
+//! produces, so [`Reconstruction::run`] is built to be allocation-free and
+//! cache-friendly per record: a one-time [`LogIndex`] pass interns nodes,
+//! classes, and `(server, connection)` pairs into dense `usize` slots, the
+//! per-server candidate sets and per-connection FIFO queues live in
+//! intrusive linked lists threaded through flat arrays, and parent selection
+//! is a single pass that evaluates the hard (blocked) and soft (class)
+//! constraints with running winners instead of materializing candidate
+//! vectors. The walk exploits the paper's own observation that the blocked
+//! constraint prunes most candidates: each server keeps a second intrusive
+//! list holding only its *unblocked* active spans (every hot per-span field
+//! packed into one cache line, [`HotSpan`]), so the common case scans just
+//! the spans that can actually issue a call and the full active list is
+//! touched only in the everyone-blocked fallback. The original
+//! `HashMap`-keyed implementation is kept verbatim as [`reference`] — the
+//! executable specification that the property tests
+//! (`reconstruct_fast_matches_reference`) and the Criterion benches hold the
+//! fast path bit-identical to. (Winner selection keys embed the span index,
+//! so they are total and the walk order of either list cannot change the
+//! result.)
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 
 use fgbd_des::SimTime;
 
@@ -105,12 +129,540 @@ pub struct Reconstruction {
     pub txns: Vec<Txn>,
 }
 
+/// Linked-list / slot sentinel for the dense tables.
+const NONE: u32 = u32::MAX;
+
+/// Multiplicative rotate-xor hasher (the FxHash construction) for the
+/// one-time `(server, connection)` interning map: the keys are two small
+/// integers, so SipHash's per-lookup cost dominates the interning pass for
+/// nothing — there is no untrusted input to defend against here.
+struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+}
+
+#[derive(Default)]
+struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher(0)
+    }
+}
+
+/// Dense per-capture tables built in one pass before reconstruction: node,
+/// class, and `(span server, connection)` identifiers are interned into
+/// contiguous `0..n` slots so the record loop indexes flat arrays instead of
+/// hashing. Node ids that appear in records but not in `log.nodes` (foreign
+/// taps, corrupt captures) are interned as servers — exactly how the
+/// reference treats them.
+struct LogIndex {
+    /// `NodeId.0 → dense node slot` (`NONE` = id never seen).
+    node_slot: Vec<u32>,
+    /// Per node slot: is this node a client generator? Replaces the old
+    /// linear `Vec::contains` client test with one indexed load.
+    client: Vec<bool>,
+    /// Number of interned nodes.
+    n_nodes: usize,
+    /// `ClassId.0 → dense class slot`.
+    class_slot: Vec<u32>,
+    /// Number of interned classes.
+    n_classes: usize,
+    /// Per record: dense slot of its `(span server, connection)` pair — the
+    /// key request/response matching runs on.
+    rec_conn: Vec<u32>,
+    /// Number of interned `(span server, connection)` pairs.
+    n_conns: usize,
+}
+
+impl LogIndex {
+    fn build(log: &TraceLog) -> LogIndex {
+        let mut max_node = 0usize;
+        let mut max_class = 0usize;
+        for n in &log.nodes {
+            max_node = max_node.max(usize::from(n.id.0));
+        }
+        for r in &log.records {
+            max_node = max_node.max(usize::from(r.src.0)).max(usize::from(r.dst.0));
+            max_class = max_class.max(usize::from(r.class.0));
+        }
+        let mut node_slot = vec![NONE; max_node + 1];
+        let mut client = Vec::with_capacity(log.nodes.len());
+        for n in &log.nodes {
+            let e = &mut node_slot[usize::from(n.id.0)];
+            if *e == NONE {
+                *e = client.len() as u32;
+                client.push(n.kind == NodeKind::Client);
+            }
+        }
+        let mut class_slot = vec![NONE; max_class + 1];
+        let mut n_classes = 0u32;
+        let mut conn_slots: HashMap<(u32, ConnId), u32, FxBuildHasher> =
+            HashMap::with_capacity_and_hasher(log.records.len() / 2 + 1, FxBuildHasher);
+        let mut rec_conn = Vec::with_capacity(log.records.len());
+        for r in &log.records {
+            for id in [r.src, r.dst] {
+                let e = &mut node_slot[usize::from(id.0)];
+                if *e == NONE {
+                    *e = client.len() as u32;
+                    client.push(false);
+                }
+            }
+            let ce = &mut class_slot[usize::from(r.class.0)];
+            if *ce == NONE {
+                *ce = n_classes;
+                n_classes += 1;
+            }
+            let span_server = node_slot[usize::from(r.span_node().0)];
+            let next = conn_slots.len() as u32;
+            rec_conn.push(*conn_slots.entry((span_server, r.conn)).or_insert(next));
+        }
+        LogIndex {
+            n_nodes: client.len(),
+            node_slot,
+            client,
+            class_slot,
+            n_classes: n_classes as usize,
+            rec_conn,
+            n_conns: conn_slots.len(),
+        }
+    }
+
+    #[inline]
+    fn node(&self, id: NodeId) -> usize {
+        self.node_slot[usize::from(id.0)] as usize
+    }
+}
+
+/// Running winner over one candidate tier (all active / unblocked /
+/// class-matched) of the single-pass parent scan. Tracks the heuristic's
+/// best candidate plus, for [`Heuristic::ProfileGuided`], the best among
+/// fan-out-eligible candidates — so no candidate set is ever materialized.
+#[derive(Clone, Copy)]
+struct TierBest {
+    count: u32,
+    best: u32,
+    best_key: (SimTime, u32),
+    pg_count: u32,
+    pg_best: u32,
+    pg_key: (SimTime, u32),
+}
+
+impl TierBest {
+    const EMPTY: TierBest = TierBest {
+        count: 0,
+        best: NONE,
+        best_key: (SimTime::ZERO, 0),
+        pg_count: 0,
+        pg_best: NONE,
+        pg_key: (SimTime::ZERO, 0),
+    };
+
+    /// Folds candidate `i` (with its heuristic sort key) into the running
+    /// winners. `take_max` selects max-key (MostRecent) over min-key
+    /// ordering; `eligible` feeds the profile-guided winner.
+    #[inline]
+    fn add(&mut self, i: u32, key: (SimTime, u32), take_max: bool, eligible: bool) {
+        self.count += 1;
+        let better = self.count == 1 || ((key > self.best_key) == take_max && key != self.best_key);
+        if better {
+            self.best = i;
+            self.best_key = key;
+        }
+        if eligible {
+            self.pg_count += 1;
+            if self.pg_count == 1 || key < self.pg_key {
+                self.pg_best = i;
+                self.pg_key = key;
+            }
+        }
+    }
+
+    /// The tier's chosen parent — for ProfileGuided the best eligible
+    /// candidate, falling back to the unfiltered winner when the learned
+    /// caps rule everyone out (mirroring [`reference`]'s fallback).
+    #[inline]
+    fn pick(&self, heuristic: Heuristic) -> Option<usize> {
+        if self.count == 0 {
+            None
+        } else if heuristic == Heuristic::ProfileGuided && self.pg_count > 0 {
+            Some(self.pg_best as usize)
+        } else {
+            Some(self.best as usize)
+        }
+    }
+}
+
+/// Everything the candidate walk reads about a span, packed into a single
+/// cache line's worth of state (32 bytes): the walk chases `unb_next` /
+/// `act_next` pointers through random heap order, so one load per candidate
+/// instead of one per parallel array is the difference between a
+/// memory-bound and a compute-bound scan. `unb_prev`/`unb_next` thread the
+/// per-server *unblocked* list through this same struct.
+#[derive(Clone, Copy)]
+struct HotSpan {
+    /// Last observed event (arrival, issued call, received child response).
+    last_event: SimTime,
+    /// Request-message capture time (the FIFO heuristic's sort key).
+    arrival: SimTime,
+    /// Dense class slot.
+    class: u32,
+    /// Downstream calls attributed so far (the profile-guided cap test).
+    calls_issued: u32,
+    /// Intrusive per-server unblocked-list links.
+    unb_prev: u32,
+    unb_next: u32,
+}
+
+/// Unlinks span `i` from server `slot`'s unblocked list.
+#[inline]
+fn unlink_unb(hot: &mut [HotSpan], head: &mut [u32], tail: &mut [u32], slot: usize, i: usize) {
+    let (p, n) = (hot[i].unb_prev, hot[i].unb_next);
+    if p == NONE {
+        head[slot] = n;
+    } else {
+        hot[p as usize].unb_next = n;
+    }
+    if n == NONE {
+        tail[slot] = p;
+    } else {
+        hot[n as usize].unb_prev = p;
+    }
+    hot[i].unb_prev = NONE;
+    hot[i].unb_next = NONE;
+}
+
+/// Appends span `i` to the tail of server `slot`'s unblocked list.
+#[inline]
+fn link_unb(hot: &mut [HotSpan], head: &mut [u32], tail: &mut [u32], slot: usize, i: usize) {
+    let t = tail[slot];
+    if t == NONE {
+        head[slot] = i as u32;
+    } else {
+        hot[t as usize].unb_next = i as u32;
+    }
+    hot[i].unb_prev = t;
+    hot[i].unb_next = NONE;
+    tail[slot] = i as u32;
+}
+
 impl Reconstruction {
     /// Reconstructs transactions from a capture using `heuristic`.
     ///
     /// Only observable fields are consulted; ground truth is copied through
     /// for later validation but never influences attribution (verified by
     /// the `blinded_log_gives_identical_edges` test).
+    ///
+    /// This is the dense-index fast path: after the one-time [`LogIndex`]
+    /// interning pass, the per-record loop performs no heap allocation
+    /// beyond growing the output span table — property-tested bit-identical
+    /// to [`reference::run`] across all four heuristics.
+    pub fn run(log: &TraceLog, heuristic: Heuristic) -> Reconstruction {
+        assert!(
+            log.records.len() < NONE as usize,
+            "capture too large for u32 span indices"
+        );
+        let ix = LogIndex::build(log);
+        let take_max = heuristic == Heuristic::MostRecent;
+
+        let cap = log.records.len() / 2 + 1;
+        let mut spans: Vec<RecSpan> = Vec::with_capacity(cap);
+        // Per-span dense state, parallel to `spans`. The candidate walk
+        // touches only `hot`; the flags and the active/FIFO links are read
+        // at single points per record.
+        let mut hot: Vec<HotSpan> = Vec::with_capacity(cap);
+        let mut blocked: Vec<bool> = Vec::with_capacity(cap);
+        let mut in_unb: Vec<bool> = Vec::with_capacity(cap);
+        let mut unambiguous: Vec<bool> = Vec::with_capacity(cap);
+        // Intrusive per-server active list (doubly linked: O(1) unlink on
+        // response) and per-(server, conn) open-request FIFO (singly linked).
+        let mut act_prev: Vec<u32> = Vec::with_capacity(cap);
+        let mut act_next: Vec<u32> = Vec::with_capacity(cap);
+        let mut open_next: Vec<u32> = Vec::with_capacity(cap);
+        let mut active_head = vec![NONE; ix.n_nodes];
+        let mut active_tail = vec![NONE; ix.n_nodes];
+        // Per-server list of *unblocked* active spans — the hard constraint
+        // prunes blocked spans from every tier except the everyone-blocked
+        // fallback, so the common-case walk only visits these.
+        let mut unb_head = vec![NONE; ix.n_nodes];
+        let mut unb_tail = vec![NONE; ix.n_nodes];
+        let mut open_head = vec![NONE; ix.n_conns];
+        let mut open_tail = vec![NONE; ix.n_conns];
+        // Learned fan-out profile, dense over (node slot, class slot):
+        // (max calls, samples) from unambiguous parents.
+        let mut profile = vec![(0u32, 0u64); ix.n_nodes * ix.n_classes];
+
+        for (ri, rec) in log.records.iter().enumerate() {
+            match rec.kind {
+                MsgKind::Request => {
+                    let server = rec.dst;
+                    let idx = spans.len();
+                    let src = ix.node(rec.src);
+                    let rec_class = ix.class_slot[usize::from(rec.class.0)];
+                    let (parent, root) = if ix.client[src] {
+                        (None, idx)
+                    } else {
+                        // Single pass over the source server's unblocked
+                        // list, folding each candidate into the two
+                        // constraint tiers it can win (hard constraint:
+                        // blocked spans cannot call; soft constraint: class
+                        // signatures are consistent along a transaction).
+                        // The full active list is scanned only when every
+                        // active span is blocked and both tiers are empty.
+                        let mut all = TierBest::EMPTY;
+                        let mut unb = TierBest::EMPTY;
+                        let mut cls = TierBest::EMPTY;
+                        let profile_row = src * ix.n_classes;
+                        let mut cur = unb_head[src];
+                        while cur != NONE {
+                            let h = &hot[cur as usize];
+                            let key = match heuristic {
+                                Heuristic::Fifo => (h.arrival, cur),
+                                _ => (h.last_event, cur),
+                            };
+                            let eligible = heuristic == Heuristic::ProfileGuided && {
+                                let (max, n) = profile[profile_row + h.class as usize];
+                                n < 8 || h.calls_issued < max
+                            };
+                            unb.add(cur, key, take_max, eligible);
+                            if h.class == rec_class {
+                                cls.add(cur, key, take_max, eligible);
+                            }
+                            cur = h.unb_next;
+                        }
+                        let tier = if cls.count > 0 {
+                            &cls
+                        } else if unb.count > 0 {
+                            &unb
+                        } else {
+                            let mut cur = active_head[src];
+                            while cur != NONE {
+                                let h = &hot[cur as usize];
+                                let key = match heuristic {
+                                    Heuristic::Fifo => (h.arrival, cur),
+                                    _ => (h.last_event, cur),
+                                };
+                                let eligible = heuristic == Heuristic::ProfileGuided && {
+                                    let (max, n) = profile[profile_row + h.class as usize];
+                                    n < 8 || h.calls_issued < max
+                                };
+                                all.add(cur, key, take_max, eligible);
+                                cur = act_next[cur as usize];
+                            }
+                            &all
+                        };
+                        match tier.pick(heuristic) {
+                            Some(p) => {
+                                if tier.count > 1 {
+                                    // This parent's call count is now
+                                    // heuristic-dependent; don't learn from it.
+                                    unambiguous[p] = false;
+                                }
+                                blocked[p] = true;
+                                if in_unb[p] {
+                                    // Candidates are active on `rec.src`, so
+                                    // the parent's server slot is `src`.
+                                    unlink_unb(&mut hot, &mut unb_head, &mut unb_tail, src, p);
+                                    in_unb[p] = false;
+                                }
+                                (Some(p), spans[p].root)
+                            }
+                            // Orphan call (capture truncation): treat as its
+                            // own root so analysis can continue.
+                            None => (None, idx),
+                        }
+                    };
+                    spans.push(RecSpan {
+                        server,
+                        class: rec.class,
+                        arrival: rec.at,
+                        departure: None,
+                        conn: rec.conn,
+                        parent,
+                        root,
+                        calls_issued: 0,
+                        truth: rec.truth,
+                    });
+                    hot.push(HotSpan {
+                        last_event: rec.at,
+                        arrival: rec.at,
+                        class: rec_class,
+                        calls_issued: 0,
+                        unb_prev: NONE,
+                        unb_next: NONE,
+                    });
+                    blocked.push(false);
+                    in_unb.push(true);
+                    unambiguous.push(true);
+                    act_prev.push(NONE);
+                    act_next.push(NONE);
+                    open_next.push(NONE);
+                    if let Some(p) = parent {
+                        spans[p].calls_issued += 1;
+                        hot[p].calls_issued += 1;
+                        hot[p].last_event = rec.at;
+                    }
+                    let idx32 = idx as u32;
+                    // Append to the (server, conn) open-request FIFO.
+                    let c = ix.rec_conn[ri] as usize;
+                    if open_tail[c] == NONE {
+                        open_head[c] = idx32;
+                    } else {
+                        open_next[open_tail[c] as usize] = idx32;
+                    }
+                    open_tail[c] = idx32;
+                    // Append to the server's active and unblocked lists.
+                    let d = ix.node(server);
+                    let tail = active_tail[d];
+                    if tail == NONE {
+                        active_head[d] = idx32;
+                    } else {
+                        act_next[tail as usize] = idx32;
+                    }
+                    act_prev[idx] = tail;
+                    active_tail[d] = idx32;
+                    link_unb(&mut hot, &mut unb_head, &mut unb_tail, d, idx);
+                }
+                MsgKind::Response => {
+                    // Pop the (server, conn) FIFO head; a response with no
+                    // matching request is a front-truncated capture — skip.
+                    let c = ix.rec_conn[ri] as usize;
+                    let head = open_head[c];
+                    if head == NONE {
+                        continue;
+                    }
+                    let idx = head as usize;
+                    open_head[c] = open_next[idx];
+                    if open_head[c] == NONE {
+                        open_tail[c] = NONE;
+                    }
+                    spans[idx].departure = Some(rec.at);
+                    // Unlink from the server's active and unblocked lists.
+                    let sslot = ix.node(spans[idx].server);
+                    let (p, n) = (act_prev[idx], act_next[idx]);
+                    if p == NONE {
+                        active_head[sslot] = n;
+                    } else {
+                        act_next[p as usize] = n;
+                    }
+                    if n == NONE {
+                        active_tail[sslot] = p;
+                    } else {
+                        act_prev[n as usize] = p;
+                    }
+                    if in_unb[idx] {
+                        unlink_unb(&mut hot, &mut unb_head, &mut unb_tail, sslot, idx);
+                        in_unb[idx] = false;
+                    }
+                    if let Some(par) = spans[idx].parent {
+                        hot[par].last_event = rec.at;
+                        blocked[par] = false;
+                        // The parent is a candidate again — unless it already
+                        // departed (out-of-order pairing in a truncated
+                        // capture), in which case it left the active set.
+                        if !in_unb[par] && spans[par].departure.is_none() {
+                            let pslot = ix.node(spans[par].server);
+                            link_unb(&mut hot, &mut unb_head, &mut unb_tail, pslot, par);
+                            in_unb[par] = true;
+                        }
+                    }
+                    // Feed the fan-out profile from unambiguous spans.
+                    if unambiguous[idx] && spans[idx].calls_issued > 0 {
+                        let e = &mut profile[sslot * ix.n_classes + hot[idx].class as usize];
+                        e.0 = e.0.max(spans[idx].calls_issued);
+                        e.1 += 1;
+                    }
+                }
+            }
+        }
+
+        // Materialize transactions in two exact-capacity passes: roots in
+        // creation order, then members in span (creation) order — the same
+        // ordering the incremental reference registration produces.
+        let mut txn_of_root: Vec<u32> = vec![NONE; spans.len()];
+        let mut txns: Vec<Txn> = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            if s.parent.is_none() && s.root == i {
+                txn_of_root[i] = txns.len() as u32;
+                txns.push(Txn {
+                    root: i,
+                    spans: Vec::new(),
+                    complete: false,
+                });
+            }
+        }
+        let mut counts = vec![0usize; txns.len()];
+        for s in &spans {
+            counts[txn_of_root[s.root] as usize] += 1;
+        }
+        for (t, c) in txns.iter_mut().zip(counts) {
+            t.spans.reserve_exact(c);
+        }
+        for (i, s) in spans.iter().enumerate() {
+            txns[txn_of_root[s.root] as usize].spans.push(i);
+        }
+        for txn in &mut txns {
+            txn.complete = txn.spans.iter().all(|&i| spans[i].departure.is_some());
+        }
+
+        Reconstruction { spans, txns }
+    }
+
+    /// Number of complete transactions.
+    pub fn complete_txns(&self) -> usize {
+        self.txns.iter().filter(|t| t.complete).count()
+    }
+
+    /// Indices of the direct children of span `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.parent == Some(i))
+            .map(|(j, _)| j)
+            .collect()
+    }
+}
+
+/// The original `HashMap`-keyed reconstruction, kept verbatim as the
+/// executable specification of [`Reconstruction::run`]: the proptest oracle
+/// (`reconstruct_fast_matches_reference`) and the Criterion benches compare
+/// the dense fast path against this span-for-span.
+pub mod reference {
+    use super::*;
+
+    /// Reconstructs transactions from a capture using `heuristic` — the
+    /// specification implementation the fast path is held bit-identical to.
     pub fn run(log: &TraceLog, heuristic: Heuristic) -> Reconstruction {
         let client: Vec<NodeId> = log
             .nodes
@@ -250,65 +802,50 @@ impl Reconstruction {
         Reconstruction { spans, txns }
     }
 
-    /// Number of complete transactions.
-    pub fn complete_txns(&self) -> usize {
-        self.txns.iter().filter(|t| t.complete).count()
-    }
-
-    /// Indices of the direct children of span `i`.
-    pub fn children(&self, i: usize) -> Vec<usize> {
-        self.spans
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.parent == Some(i))
-            .map(|(j, _)| j)
-            .collect()
-    }
-}
-
-fn choose_parent(
-    cands: &[usize],
-    spans: &[RecSpan],
-    last_event: &[SimTime],
-    profile: &HashMap<(NodeId, ClassId), (u32, u64)>,
-    heuristic: Heuristic,
-) -> Option<usize> {
-    if cands.is_empty() {
-        return None;
-    }
-    if cands.len() == 1 {
-        return Some(cands[0]);
-    }
-    match heuristic {
-        Heuristic::LongestQuiescent => longest_quiescent(cands, last_event),
-        Heuristic::MostRecent => cands.iter().copied().max_by_key(|&i| (last_event[i], i)),
-        Heuristic::Fifo => cands.iter().copied().min_by_key(|&i| (spans[i].arrival, i)),
-        Heuristic::ProfileGuided => {
-            // Keep candidates that have not yet exhausted their learned
-            // fan-out cap; fall back to all candidates if none qualify.
-            let cap = |i: usize| -> Option<u32> {
-                let (max, n) = profile.get(&(spans[i].server, spans[i].class))?;
-                if *n < 8 {
-                    return None; // too few samples to trust
+    fn choose_parent(
+        cands: &[usize],
+        spans: &[RecSpan],
+        last_event: &[SimTime],
+        profile: &HashMap<(NodeId, ClassId), (u32, u64)>,
+        heuristic: Heuristic,
+    ) -> Option<usize> {
+        if cands.is_empty() {
+            return None;
+        }
+        if cands.len() == 1 {
+            return Some(cands[0]);
+        }
+        match heuristic {
+            Heuristic::LongestQuiescent => longest_quiescent(cands, last_event),
+            Heuristic::MostRecent => cands.iter().copied().max_by_key(|&i| (last_event[i], i)),
+            Heuristic::Fifo => cands.iter().copied().min_by_key(|&i| (spans[i].arrival, i)),
+            Heuristic::ProfileGuided => {
+                // Keep candidates that have not yet exhausted their learned
+                // fan-out cap; fall back to all candidates if none qualify.
+                let cap = |i: usize| -> Option<u32> {
+                    let (max, n) = profile.get(&(spans[i].server, spans[i].class))?;
+                    if *n < 8 {
+                        return None; // too few samples to trust
+                    }
+                    Some(*max)
+                };
+                let eligible: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| cap(i).is_none_or(|b| spans[i].calls_issued < b))
+                    .collect();
+                if eligible.is_empty() {
+                    longest_quiescent(cands, last_event)
+                } else {
+                    longest_quiescent(&eligible, last_event)
                 }
-                Some(*max)
-            };
-            let eligible: Vec<usize> = cands
-                .iter()
-                .copied()
-                .filter(|&i| cap(i).is_none_or(|b| spans[i].calls_issued < b))
-                .collect();
-            if eligible.is_empty() {
-                longest_quiescent(cands, last_event)
-            } else {
-                longest_quiescent(&eligible, last_event)
             }
         }
     }
-}
 
-fn longest_quiescent(cands: &[usize], last_event: &[SimTime]) -> Option<usize> {
-    cands.iter().copied().min_by_key(|&i| (last_event[i], i))
+    fn longest_quiescent(cands: &[usize], last_event: &[SimTime]) -> Option<usize> {
+        cands.iter().copied().min_by_key(|&i| (last_event[i], i))
+    }
 }
 
 /// Reconstruction quality relative to ground truth.
@@ -396,6 +933,13 @@ mod tests {
     const WEB: NodeId = NodeId(1);
     const APP: NodeId = NodeId(2);
 
+    const ALL_HEURISTICS: [Heuristic; 4] = [
+        Heuristic::LongestQuiescent,
+        Heuristic::MostRecent,
+        Heuristic::Fifo,
+        Heuristic::ProfileGuided,
+    ];
+
     fn nodes() -> Vec<NodeMeta> {
         vec![
             NodeMeta {
@@ -460,12 +1004,7 @@ mod tests {
 
     #[test]
     fn serial_transactions_reconstruct_perfectly() {
-        for h in [
-            Heuristic::LongestQuiescent,
-            Heuristic::MostRecent,
-            Heuristic::Fifo,
-            Heuristic::ProfileGuided,
-        ] {
+        for h in ALL_HEURISTICS {
             let rec = Reconstruction::run(&serial_log(), h);
             assert_eq!(rec.txns.len(), 2);
             assert_eq!(rec.complete_txns(), 2);
@@ -567,5 +1106,55 @@ mod tests {
         let r = Reconstruction::run(&serial_log(), Heuristic::LongestQuiescent);
         assert_eq!(r.children(0), vec![1]);
         assert!(r.children(1).is_empty());
+    }
+
+    /// Spot-check of the proptest oracle: fast path and reference agree
+    /// span-for-span on an ambiguous interleaved log, for every heuristic.
+    #[test]
+    fn fast_path_matches_reference_on_interleaved_log() {
+        let mut log = TraceLog::new(nodes());
+        // Three concurrent same-class web spans with overlapping app calls:
+        // attribution is genuinely heuristic-dependent.
+        log.push(rec(0, CLIENT, WEB, MsgKind::Request, 10, 1));
+        log.push(rec(5, CLIENT, WEB, MsgKind::Request, 11, 2));
+        log.push(rec(8, CLIENT, WEB, MsgKind::Request, 12, 3));
+        log.push(rec(12, WEB, APP, MsgKind::Request, 110, 1));
+        log.push(rec(14, WEB, APP, MsgKind::Request, 111, 2));
+        log.push(rec(20, APP, WEB, MsgKind::Response, 110, 1));
+        log.push(rec(22, WEB, APP, MsgKind::Request, 112, 3));
+        log.push(rec(25, APP, WEB, MsgKind::Response, 111, 2));
+        log.push(rec(28, APP, WEB, MsgKind::Response, 112, 3));
+        log.push(rec(30, WEB, CLIENT, MsgKind::Response, 10, 1));
+        log.push(rec(32, WEB, CLIENT, MsgKind::Response, 11, 2));
+        log.push(rec(34, WEB, CLIENT, MsgKind::Response, 12, 3));
+        // Plus an orphan response (front truncation) and an orphan call.
+        log.push(rec(40, APP, WEB, MsgKind::Response, 999, 9));
+        log.push(rec(45, WEB, APP, MsgKind::Request, 998, 9));
+        for h in ALL_HEURISTICS {
+            let fast = Reconstruction::run(&log, h);
+            let spec = reference::run(&log, h);
+            assert_eq!(fast.spans, spec.spans, "{h:?}");
+            assert_eq!(fast.txns, spec.txns, "{h:?}");
+        }
+    }
+
+    /// Records naming nodes absent from the node table (foreign taps) are
+    /// treated as server traffic by both implementations.
+    #[test]
+    fn unknown_nodes_match_reference() {
+        let mut log = TraceLog::new(nodes());
+        let ghost = NodeId(7);
+        log.push(rec(10, CLIENT, WEB, MsgKind::Request, 10, 1));
+        log.push(rec(12, ghost, APP, MsgKind::Request, 200, 5));
+        log.push(rec(15, WEB, ghost, MsgKind::Request, 201, 1));
+        log.push(rec(20, APP, ghost, MsgKind::Response, 200, 5));
+        log.push(rec(25, ghost, WEB, MsgKind::Response, 201, 1));
+        log.push(rec(30, WEB, CLIENT, MsgKind::Response, 10, 1));
+        for h in ALL_HEURISTICS {
+            let fast = Reconstruction::run(&log, h);
+            let spec = reference::run(&log, h);
+            assert_eq!(fast.spans, spec.spans, "{h:?}");
+            assert_eq!(fast.txns, spec.txns, "{h:?}");
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use fgbd_des::SimTime;
 use fgbd_trace::capture::{read_capture, write_capture};
-use fgbd_trace::reconstruct::{Accuracy, Heuristic, Reconstruction};
+use fgbd_trace::reconstruct::{reference, Accuracy, Heuristic, Reconstruction};
 use fgbd_trace::{
     ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, SpanSet, TraceLog, TxnId,
 };
@@ -11,6 +11,14 @@ use proptest::prelude::*;
 const CLIENT: NodeId = NodeId(0);
 const WEB: NodeId = NodeId(1);
 const APP: NodeId = NodeId(2);
+const DB: NodeId = NodeId(3);
+
+const ALL_HEURISTICS: [Heuristic; 4] = [
+    Heuristic::LongestQuiescent,
+    Heuristic::MostRecent,
+    Heuristic::Fifo,
+    Heuristic::ProfileGuided,
+];
 
 fn nodes() -> Vec<NodeMeta> {
     vec![
@@ -144,6 +152,129 @@ proptest! {
             for &m in &txn.spans {
                 prop_assert_eq!(rec.spans[m].root, txn.root);
             }
+        }
+    }
+}
+
+fn nodes4() -> Vec<NodeMeta> {
+    let mut n = nodes();
+    n.push(NodeMeta {
+        id: DB,
+        name: "db".into(),
+        kind: NodeKind::Server,
+        tier: Some(2),
+    });
+    n
+}
+
+/// Builds a log of *interleaved* multi-tier transactions from random shape
+/// parameters: per txn `(calls, class, start, spacing)`, a web span issuing
+/// `calls` app calls (odd classes also fan out app→db), all overlapping in
+/// time and sharing small connection pools, then truncated at both ends —
+/// concurrency, FIFO conn reuse, orphan calls, and orphan responses in one
+/// generator.
+fn interleaved_log(shapes: &[(u8, u16, u64, u64)], drop_head: usize, drop_tail: usize) -> TraceLog {
+    let mk = |at: u64, src: NodeId, dst: NodeId, kind: MsgKind, conn: u32, class: u16, txn: u64| {
+        MsgRecord {
+            at: SimTime::from_micros(at),
+            src,
+            dst,
+            kind,
+            conn: ConnId(conn),
+            class: ClassId(class),
+            bytes: 100,
+            truth: Some(TxnId(txn)),
+        }
+    };
+    let mut evs: Vec<MsgRecord> = Vec::new();
+    for (i, &(calls, class, start, spacing)) in shapes.iter().enumerate() {
+        let txn = i as u64;
+        let cc = (i % 4) as u32;
+        evs.push(mk(start, CLIENT, WEB, MsgKind::Request, cc, class, txn));
+        let mut t = start + 2;
+        for k in 0..u64::from(calls) {
+            let ac = 100 + ((i as u64 + k) % 5) as u32;
+            evs.push(mk(t, WEB, APP, MsgKind::Request, ac, class, txn));
+            if class % 2 == 1 {
+                let dc = 200 + ((i as u64 + k) % 3) as u32;
+                evs.push(mk(t + 1, APP, DB, MsgKind::Request, dc, class, txn));
+                evs.push(mk(
+                    t + spacing - 1,
+                    DB,
+                    APP,
+                    MsgKind::Response,
+                    dc,
+                    class,
+                    txn,
+                ));
+            }
+            evs.push(mk(t + spacing, APP, WEB, MsgKind::Response, ac, class, txn));
+            t += spacing + 2;
+        }
+        evs.push(mk(t + 3, WEB, CLIENT, MsgKind::Response, cc, class, txn));
+    }
+    evs.sort_by_key(|r| r.at);
+    let lo = drop_head.min(evs.len());
+    let hi = evs.len().saturating_sub(drop_tail).max(lo);
+    let mut log = TraceLog::new(nodes4());
+    for r in &evs[lo..hi] {
+        log.push(*r);
+    }
+    log
+}
+
+proptest! {
+    /// The oracle for the dense-index fast path: on randomized interleaved
+    /// multi-tier logs — varying concurrency, shared connections, truncated
+    /// captures with orphan calls and orphan responses —
+    /// [`Reconstruction::run`] produces span-for-span, txn-for-txn identical
+    /// output to [`reference::run`] under all four heuristics.
+    #[test]
+    fn reconstruct_fast_matches_reference(
+        shapes in prop::collection::vec((0u8..5, 0u16..4, 0u64..400, 2u64..10), 1..25),
+        drops in (0usize..6, 0usize..6),
+    ) {
+        let log = interleaved_log(&shapes, drops.0, drops.1);
+        for h in ALL_HEURISTICS {
+            let fast = Reconstruction::run(&log, h);
+            let spec = reference::run(&log, h);
+            prop_assert_eq!(&fast.spans, &spec.spans);
+            prop_assert_eq!(&fast.txns, &spec.txns);
+        }
+    }
+
+    /// Same oracle on adversarial "record soup": arbitrary src/dst pairs
+    /// (including node ids absent from the node table), arbitrary
+    /// request/response interleavings, and colliding connection ids. The
+    /// fast path must agree with the reference even on captures with no
+    /// transactional structure at all.
+    #[test]
+    fn reconstruct_fast_matches_reference_on_record_soup(
+        soup in prop::collection::vec(
+            (0u64..6, 0u16..36, prop::bool::ANY, 0u32..6, 0u16..3),
+            1..80,
+        ),
+    ) {
+        let mut log = TraceLog::new(nodes());
+        let mut t = 0u64;
+        for &(dt, srcdst, is_resp, conn, class) in &soup {
+            t += dt;
+            log.push(MsgRecord {
+                at: SimTime::from_micros(t),
+                src: NodeId(srcdst % 6),
+                dst: NodeId(srcdst / 6),
+                kind: if is_resp { MsgKind::Response } else { MsgKind::Request },
+                conn: ConnId(conn),
+                class: ClassId(class),
+                bytes: 10,
+                truth: None,
+            });
+        }
+        for h in ALL_HEURISTICS {
+            let fast = Reconstruction::run(&log, h);
+            let spec = reference::run(&log, h);
+            prop_assert_eq!(&fast.spans, &spec.spans);
+            prop_assert_eq!(&fast.txns, &spec.txns);
         }
     }
 }

@@ -1,6 +1,9 @@
 #!/bin/sh
 # Runs the analysis benchmarks and condenses Criterion's estimates into a
 # single BENCH_analysis.json at the repo root: { "<bench id>": median_ns }.
+# Covers every group in benches/analysis.rs, including the `reconstruction`
+# (dense fast path vs reference) and `pipeline` (end-to-end simulate →
+# reconstruct → calibrate → detect) groups.
 #
 #   scripts/bench.sh            # bench + summarize
 #   scripts/bench.sh --no-run   # summarize an existing target/criterion
