@@ -198,6 +198,7 @@ pub fn analyze_server(
     work_unit: SimDuration,
     cfg: &DetectorConfig,
 ) -> ServerReport {
+    fgbd_obsv::span!("detect");
     // One fused pass over the spans builds both series (see `SeriesSet`).
     let set = SeriesSet::from_spans(spans, window, services, work_unit);
     let (load, tput) = (set.load(), set.tput());

@@ -72,6 +72,7 @@ pub fn estimate(loads: &[f64], tputs: &[f64], cfg: &NStarConfig) -> Option<NStar
         "tol_frac must be in (0,1)"
     );
     assert_eq!(loads.len(), tputs.len(), "series length mismatch");
+    fgbd_obsv::counter!("nstar.fits", 1);
 
     let mut populated = curve_bins(loads, tputs, cfg);
     // Idle intervals produce a zero-load bin that carries no slope
@@ -138,7 +139,11 @@ pub fn estimate(loads: &[f64], tputs: &[f64], cfg: &NStarConfig) -> Option<NStar
                 knee_index: knee,
             });
         }
+        // Each prefix that fails the intervention test is one retry of the
+        // slope fit with the next bin folded in.
+        fgbd_obsv::counter!("nstar.slope_retries", 1);
     }
+    fgbd_obsv::counter!("nstar.no_knee", 1);
     None
 }
 

@@ -401,12 +401,15 @@ impl SeriesSet {
         services: &ServiceTimeTable,
         work_unit: SimDuration,
     ) -> SeriesSet {
+        fgbd_obsv::span!("series");
         let mut load = LoadAcc::new(window);
         let mut tput = TputAcc::new(window, work_unit);
         for s in spans {
             load.add(s);
             tput.add(s, services);
         }
+        fgbd_obsv::counter!("series.spans", spans.len() as u64);
+        fgbd_obsv::counter!("series.intervals", window.len() as u64);
         SeriesSet {
             window,
             overlap_us: load.finish(),

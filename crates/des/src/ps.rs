@@ -85,6 +85,18 @@ pub struct PsIntegrator {
     seq: u64,
     /// Integral of occupied cores over time (core-seconds of job progress).
     busy_core_seconds: f64,
+    /// Heap pushes + pops, accumulated in a plain field (the event loop is
+    /// far too hot for per-op atomics) and flushed to the process-wide
+    /// `des.ps_heap_ops` counter when the integrator drops.
+    heap_ops: u64,
+}
+
+impl Drop for PsIntegrator {
+    fn drop(&mut self) {
+        if self.heap_ops > 0 {
+            fgbd_obsv::counter!("des.ps_heap_ops", self.heap_ops);
+        }
+    }
 }
 
 impl PsIntegrator {
@@ -106,6 +118,7 @@ impl PsIntegrator {
             index: HashMap::new(),
             seq: 0,
             busy_core_seconds: 0.0,
+            heap_ops: 0,
         }
     }
 
@@ -135,6 +148,7 @@ impl PsIntegrator {
                 return Some((key, job));
             }
             self.jobs.pop();
+            self.heap_ops += 1;
         }
         None
     }
@@ -206,6 +220,7 @@ impl PsIntegrator {
         let prev = self.index.insert(job, key);
         assert!(prev.is_none(), "job inserted twice: {job:?}");
         self.jobs.push(Reverse((key, job)));
+        self.heap_ops += 1;
     }
 
     /// Removes a job before completion, returning its remaining work-units,
@@ -246,6 +261,7 @@ impl PsIntegrator {
         while let Some((key, job)) = self.live_top() {
             if key.threshold() <= self.attained + eps {
                 self.jobs.pop();
+                self.heap_ops += 1;
                 self.index.remove(&job);
                 out.push(job);
             } else {

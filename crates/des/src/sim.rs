@@ -121,6 +121,7 @@ impl<A: Actor> Simulation<A> {
     /// if nothing ran). Events at exactly `horizon` are processed; later ones
     /// stay queued.
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        let before = self.events_processed;
         while let Some(t) = self.sched.queue.peek_time() {
             if t > horizon {
                 break;
@@ -130,6 +131,13 @@ impl<A: Actor> Simulation<A> {
             self.sched.now = t;
             self.actor.handle(t, ev, &mut self.sched);
             self.events_processed += 1;
+        }
+        // Telemetry stays out of the dispatch loop: one flush per run,
+        // not one atomic per event.
+        let delta = self.events_processed - before;
+        if delta > 0 {
+            fgbd_obsv::counter!("des.events", delta);
+            fgbd_obsv::histogram!("des.events_per_run", delta);
         }
         self.sched.now
     }

@@ -6,43 +6,21 @@
 //! (transaction samples, GC events, CPU samples), which is why the bound is
 //! a small fraction of the event count rather than exactly zero.
 //!
-//! This test lives in its own integration-test binary because it installs a
-//! counting `#[global_allocator]` for the whole process.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+//! The counting allocator is `fgbd_obsv::alloc::AllocGauge` — the same
+//! opt-in gauge the observability crate offers every binary. This test
+//! lives in its own integration-test binary because a `#[global_allocator]`
+//! counts for the whole process.
+//!
+//! Telemetry stays at its default (enabled) here, so the bound also proves
+//! the instrumented event loop stays allocation-free at steady state: the
+//! one-time counter/histogram registrations land in the warmup window.
 
 use fgbd_des::{SimTime, Simulation};
 use fgbd_ntier::{Ev, Jdk, NTierSystem, SystemConfig};
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-struct CountingAlloc;
-
-// SAFETY: defers to `System` for every operation; only adds a counter.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc_zeroed(layout) }
-    }
-}
+use fgbd_obsv::alloc::AllocGauge;
 
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+static GLOBAL: AllocGauge = AllocGauge::new();
 
 #[test]
 fn steady_state_event_loop_is_allocation_free() {
@@ -54,14 +32,15 @@ fn steady_state_event_loop_is_allocation_free() {
     let mut sim = Simulation::new(NTierSystem::new(cfg));
     sim.prime(SimTime::ZERO, Ev::Boot);
     // Warm up: grow event-queue/PS-heap capacities, connection pools, visit
-    // tables, and the first result-vector doublings.
+    // tables, the first result-vector doublings, and the one-time telemetry
+    // registry entries.
     sim.run_until(SimTime::from_secs(20));
 
     let events_before = sim.events_processed();
-    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let allocs_before = GLOBAL.allocs();
     sim.run_until(SimTime::from_secs(60));
     let events = sim.events_processed() - events_before;
-    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let allocs = GLOBAL.allocs() - allocs_before;
 
     assert!(
         events > 20_000,

@@ -1,0 +1,290 @@
+//! Monotonic counters and fixed-bucket log2 histograms.
+//!
+//! Instruments are registered lazily by `&'static str` name (plus an
+//! optional `&'static str` label) and live for the process lifetime, so
+//! call sites can cache the returned reference in a `OnceLock` — the
+//! [`crate::counter!`] and [`crate::histogram!`] macros do exactly that.
+//! All updates are single relaxed atomic RMWs; totals are exact under
+//! arbitrary thread interleavings because addition commutes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// A monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter (usable in `static` position).
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `0` holds zeros and bucket `b`
+/// (`1..=64`) holds values in `[2^(b-1), 2^b)`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let b = (u64::BITS - v.leading_zeros()) as usize;
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The smallest value a bucket index can hold (0 for bucket 0,
+    /// `2^(b-1)` otherwise).
+    pub fn bucket_floor(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+}
+
+type Key = (&'static str, &'static str);
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn counters() -> &'static Mutex<BTreeMap<Key, &'static Counter>> {
+    static R: OnceLock<Mutex<BTreeMap<Key, &'static Counter>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn histograms() -> &'static Mutex<BTreeMap<Key, &'static Histogram>> {
+    static R: OnceLock<Mutex<BTreeMap<Key, &'static Histogram>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The counter named `name`, registering it on first use. Repeated calls
+/// return the same instance.
+pub fn counter(name: &'static str) -> &'static Counter {
+    counter_labeled(name, "")
+}
+
+/// The `(name, label)` counter — for per-variant counts whose label is
+/// only known at runtime from a static set (e.g. scenario names).
+pub fn counter_labeled(name: &'static str, label: &'static str) -> &'static Counter {
+    lock(counters())
+        .entry((name, label))
+        .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+}
+
+/// The histogram named `name`, registering it on first use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    lock(histograms())
+        .entry((name, ""))
+        .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+}
+
+/// A histogram's contents at snapshot time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Non-empty buckets as `(bucket floor value, sample count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A point-in-time copy of every registered counter and histogram, keyed
+/// by `name` or `name{label}`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram contents.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+}
+
+fn key_string((name, label): Key) -> String {
+    if label.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
+/// Snapshots every registered instrument.
+pub fn snapshot() -> MetricsSnapshot {
+    let counters = lock(counters())
+        .iter()
+        .map(|(&k, c)| (key_string(k), c.get()))
+        .collect();
+    let histograms = lock(histograms())
+        .iter()
+        .map(|(&k, h)| {
+            let buckets = (0..HIST_BUCKETS)
+                .filter_map(|b| {
+                    let n = h.buckets[b].load(Ordering::Relaxed);
+                    (n > 0).then(|| (Histogram::bucket_floor(b), n))
+                })
+                .collect();
+            (
+                key_string(k),
+                HistSnapshot {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets,
+                },
+            )
+        })
+        .collect();
+    MetricsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+impl MetricsSnapshot {
+    /// The activity since `earlier` — per-run views over the
+    /// process-cumulative registry. Untouched instruments are dropped.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(k, &v)| {
+                let d = v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0));
+                (d > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(k, h)| {
+                let base = earlier.histograms.get(k);
+                let count = h.count.saturating_sub(base.map_or(0, |b| b.count));
+                if count == 0 {
+                    return None;
+                }
+                let base_buckets: BTreeMap<u64, u64> = base
+                    .map(|b| b.buckets.iter().copied().collect())
+                    .unwrap_or_default();
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .filter_map(|&(floor, n)| {
+                        let d = n.saturating_sub(base_buckets.get(&floor).copied().unwrap_or(0));
+                        (d > 0).then_some((floor, d))
+                    })
+                    .collect();
+                Some((
+                    k.clone(),
+                    HistSnapshot {
+                        count,
+                        sum: h.sum.saturating_sub(base.map_or(0, |b| b.sum)),
+                        buckets,
+                    },
+                ))
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_identity_registered() {
+        let a = counter("t_metrics_identity");
+        let b = counter("t_metrics_identity");
+        assert!(std::ptr::eq(a, b));
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct() {
+        counter_labeled("t_metrics_labeled", "x").add(1);
+        counter_labeled("t_metrics_labeled", "y").add(2);
+        let snap = snapshot();
+        assert_eq!(snap.counters["t_metrics_labeled{x}"], 1);
+        assert_eq!(snap.counters["t_metrics_labeled{y}"], 2);
+    }
+
+    #[test]
+    fn histogram_buckets_follow_log2() {
+        let h = histogram("t_metrics_hist");
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1 << 20] {
+            h.record(v);
+        }
+        let snap = snapshot();
+        let hs = &snap.histograms["t_metrics_hist"];
+        assert_eq!(hs.count, 8);
+        assert_eq!(hs.sum, 1 + 2 + 3 + 4 + 7 + 8 + (1 << 20));
+        let by_floor: BTreeMap<u64, u64> = hs.buckets.iter().copied().collect();
+        assert_eq!(by_floor[&0], 1); // value 0
+        assert_eq!(by_floor[&1], 1); // value 1
+        assert_eq!(by_floor[&2], 2); // values 2, 3
+        assert_eq!(by_floor[&4], 2); // values 4, 7
+        assert_eq!(by_floor[&8], 1); // value 8
+        assert_eq!(by_floor[&(1 << 20)], 1);
+    }
+
+    #[test]
+    fn delta_reports_only_new_activity() {
+        let c = counter("t_metrics_delta");
+        c.add(10);
+        let before = snapshot();
+        c.add(7);
+        let d = snapshot().delta(&before);
+        assert_eq!(d.counters["t_metrics_delta"], 7);
+        let d2 = snapshot().delta(&snapshot());
+        assert!(!d2.counters.contains_key("t_metrics_delta"));
+    }
+}

@@ -1,0 +1,42 @@
+//! The stdout log sink behind [`crate::log!`]: every line is prefixed
+//! `[fgbd:<target>] `, so interleaved experiment output stays
+//! machine-parseable (`grep '^\[fgbd:fig12\]'` recovers one stream).
+
+use std::io::Write;
+
+/// Emits `msg` under `target`, prefixing every line. Multi-line payloads
+/// (plots, summary tables) keep their shape — each line gets the prefix.
+/// The quiet check lives in the [`crate::log!`] macro so muted call
+/// sites skip formatting entirely; calling this directly always prints.
+pub fn emit(target: &str, msg: &str) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if msg.is_empty() {
+        let _ = writeln!(out, "[fgbd:{target}]");
+        return;
+    }
+    for line in msg.lines() {
+        let _ = writeln!(out, "[fgbd:{target}] {line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quiet_mode_skips_the_macro_body() {
+        let _g = crate::test_sync::hold();
+        crate::set_quiet(true);
+        let mut evaluated = false;
+        crate::log!("test", "{}", {
+            evaluated = true;
+            "x"
+        });
+        assert!(!evaluated, "--quiet must skip formatting work");
+        crate::set_quiet(false);
+        crate::log!("test", "{}", {
+            evaluated = true;
+            "exercising the live path"
+        });
+        assert!(evaluated);
+    }
+}

@@ -4,8 +4,11 @@
 //! every server, and prints the verdicts.
 //!
 //! ```bash
-//! cargo run -p fgbd-repro --release --bin analyze_capture -- capture.fgbdcap [interval_ms]
+//! cargo run -p fgbd-repro --release --bin analyze_capture -- \
+//!     capture.fgbdcap [interval_ms] [--quiet]
 //! ```
+//!
+//! A run manifest is written to `out/manifests/analyze_capture.*`.
 
 use std::fs::File;
 use std::io::BufReader;
@@ -13,29 +16,38 @@ use std::io::BufReader;
 use fgbd_core::detect::{analyze_server, rank_bottlenecks, DetectorConfig};
 use fgbd_core::series::Window;
 use fgbd_des::{SimDuration, SimTime};
+use fgbd_obsv::json::Json;
 use fgbd_repro::pipeline::{Calibration, WORK_UNIT_RESOLUTION};
 use fgbd_trace::{read_capture, NodeKind, SpanSet};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(path) = args.get(1) else {
+    let args = fgbd_repro::harness::parse_std_flags();
+    let Some(path) = args.first() else {
         eprintln!("usage: analyze_capture <capture.fgbdcap> [interval_ms]");
         std::process::exit(2);
     };
     let interval_ms: u64 = args
-        .get(2)
+        .get(1)
         .map_or(Ok(50), |s| s.parse())
         .expect("interval must be milliseconds");
 
+    let mut scope = fgbd_repro::harness::begin("analyze_capture");
+    scope.field("capture", Json::Str(path.clone()));
+    scope.field("interval_ms", Json::Num(interval_ms as f64));
+    let _root = fgbd_obsv::span::enter("analyze_capture");
+
     let file = File::open(path).expect("open capture file");
     let log = read_capture(BufReader::new(file)).expect("parse capture");
-    println!(
+    fgbd_obsv::log!(
+        "analyze_capture",
         "capture: {} nodes, {} messages",
         log.nodes.len(),
         log.records.len()
     );
     let Some(end) = log.records.last().map(|r| r.at) else {
-        println!("empty capture — nothing to analyze");
+        fgbd_obsv::log!("analyze_capture", "empty capture — nothing to analyze");
+        drop(_root);
+        scope.finish();
         return;
     };
     let start = log.records.first().map(|r| r.at).expect("non-empty");
@@ -95,12 +107,19 @@ fn main() {
         );
         (meta.name.clone(), report)
     });
-    println!(
+    fgbd_obsv::log!(
+        "analyze_capture",
         "\n{:<12} {:>8} {:>10} {:>10} {:>8} {:>8}",
-        "server", "spans", "N*", "congested", "frozen", "ratio%"
+        "server",
+        "spans",
+        "N*",
+        "congested",
+        "frozen",
+        "ratio%"
     );
     for (meta, (name, report)) in metas.iter().zip(&reports) {
-        println!(
+        fgbd_obsv::log!(
+            "analyze_capture",
             "{:<12} {:>8} {:>10} {:>10} {:>8} {:>8.1}",
             name,
             spans.server(meta.id).len(),
@@ -120,20 +139,28 @@ fn main() {
             .iter()
             .find(|(_, r)| r.server == *top)
             .map_or("?", |(n, _)| n.as_str());
-        println!(
+        fgbd_obsv::log!(
+            "analyze_capture",
             "\n=> most frequently congested server: {name} ({:.1}% of active {interval_ms} ms intervals)",
             ratio * 100.0
         );
         let frozen: usize = reports.iter().map(|(_, r)| r.frozen_intervals()).sum();
         if frozen > 0 {
-            println!(
+            fgbd_obsv::log!(
+                "analyze_capture",
                 "   {frozen} frozen (POI) intervals across servers — look for stop-the-world events (e.g. JVM GC)"
             );
         }
     }
     let analyzed_until = SimTime::from_micros(end.as_micros());
-    println!(
+    fgbd_obsv::log!(
+        "analyze_capture",
         "   analyzed window: {} .. {} at {interval_ms} ms granularity",
-        start, analyzed_until
+        start,
+        analyzed_until
     );
+
+    scope.field("servers", Json::Num(reports.len() as f64));
+    drop(_root);
+    scope.finish();
 }

@@ -1,0 +1,53 @@
+//! Validates a `fgbd.run-manifest/v1` JSON document — the tiny in-repo
+//! checker CI runs after an experiment binary, so a telemetry regression
+//! (missing stages, zero timings, dropped fields) fails the build without
+//! pulling in an external JSON-schema dependency.
+//!
+//! ```bash
+//! cargo run -p fgbd-repro --release --bin check_manifest -- out/manifests/fig06.json
+//! ```
+//!
+//! Exits 0 and prints a one-line summary when the manifest is valid;
+//! exits non-zero with the violation otherwise. This is the one
+//! `fgbd-repro` binary that does not write a manifest of its own: it is
+//! the validator, not a run.
+
+use fgbd_obsv::json::Json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: check_manifest <manifest.json>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_manifest: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("check_manifest: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = fgbd_obsv::manifest::validate(&doc) {
+        eprintln!("check_manifest: {path}: {e}");
+        std::process::exit(1);
+    }
+    let stages = doc
+        .get("stages")
+        .and_then(Json::as_arr)
+        .map_or(0, <[_]>::len);
+    let artifacts = doc
+        .get("artifacts")
+        .and_then(Json::as_arr)
+        .map_or(0, <[_]>::len);
+    println!(
+        "check_manifest: {path} OK ({} stages, {} artifacts)",
+        stages, artifacts
+    );
+}

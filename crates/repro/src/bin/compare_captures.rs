@@ -4,8 +4,11 @@
 //! diff the per-server transient-bottleneck verdicts.
 //!
 //! ```bash
-//! cargo run -p fgbd-repro --release --bin compare_captures -- before.fgbdcap after.fgbdcap
+//! cargo run -p fgbd-repro --release --bin compare_captures -- \
+//!     before.fgbdcap after.fgbdcap [--quiet]
 //! ```
+//!
+//! A run manifest is written to `out/manifests/compare_captures.*`.
 
 use std::collections::BTreeMap;
 use std::fs::File;
@@ -14,6 +17,7 @@ use std::io::BufReader;
 use fgbd_core::detect::{analyze_server, DetectorConfig, ServerReport};
 use fgbd_core::series::Window;
 use fgbd_des::SimDuration;
+use fgbd_obsv::json::Json;
 use fgbd_repro::pipeline::{Calibration, WORK_UNIT_RESOLUTION};
 use fgbd_trace::{read_capture, NodeKind, SpanSet, TraceLog};
 
@@ -82,23 +86,39 @@ fn reports(log: &TraceLog) -> BTreeMap<String, ServerReport> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let (Some(before_path), Some(after_path)) = (args.get(1), args.get(2)) else {
+    let args = fgbd_repro::harness::parse_std_flags();
+    let (Some(before_path), Some(after_path)) = (args.first(), args.get(1)) else {
         eprintln!("usage: compare_captures <before.fgbdcap> <after.fgbdcap>");
         std::process::exit(2);
     };
+    let mut scope = fgbd_repro::harness::begin("compare_captures");
+    scope.field("before", Json::Str(before_path.clone()));
+    scope.field("after", Json::Str(after_path.clone()));
+    let _root = fgbd_obsv::span::enter("compare_captures");
+
     let before = reports(&load(before_path));
     let after = reports(&load(after_path));
 
-    println!(
+    fgbd_obsv::log!(
+        "compare_captures",
         "{:<12} | {:>10} {:>8} | {:>10} {:>8} | verdict",
-        "server", "congested", "frozen", "congested", "frozen"
+        "server",
+        "congested",
+        "frozen",
+        "congested",
+        "frozen"
     );
-    println!("{:<12} | {:^19} | {:^19} |", "", "before", "after");
-    println!("{}", "-".repeat(70));
+    fgbd_obsv::log!(
+        "compare_captures",
+        "{:<12} | {:^19} | {:^19} |",
+        "",
+        "before",
+        "after"
+    );
+    fgbd_obsv::log!("compare_captures", "{}", "-".repeat(70));
     for (name, b) in &before {
         let Some(a) = after.get(name) else {
-            println!("{name:<12} | (missing in after)");
+            fgbd_obsv::log!("compare_captures", "{name:<12} | (missing in after)");
             continue;
         };
         let verdict = if b.congested_intervals() > 0
@@ -110,7 +130,8 @@ fn main() {
         } else {
             "unchanged"
         };
-        println!(
+        fgbd_obsv::log!(
+            "compare_captures",
             "{name:<12} | {:>10} {:>8} | {:>10} {:>8} | {verdict}",
             b.congested_intervals(),
             b.frozen_intervals(),
@@ -119,6 +140,11 @@ fn main() {
         );
     }
     for name in after.keys().filter(|n| !before.contains_key(*n)) {
-        println!("{name:<12} | (missing in before)");
+        fgbd_obsv::log!("compare_captures", "{name:<12} | (missing in before)");
     }
+
+    scope.field("servers_before", Json::Num(before.len() as f64));
+    scope.field("servers_after", Json::Num(after.len() as f64));
+    drop(_root);
+    scope.finish();
 }

@@ -1,6 +1,8 @@
 //! Extension experiment (see `fgbd_repro::experiments::ext_drift`).
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output. Every run
+//! writes a `fgbd.run-manifest/v1` document under `out/manifests/ext_drift.*`.
 
 fn main() {
-    let summary = fgbd_repro::experiments::ext_drift::run();
-    println!("{}", summary.save());
+    fgbd_repro::harness::experiment_main("ext_drift", fgbd_repro::experiments::ext_drift::run);
 }

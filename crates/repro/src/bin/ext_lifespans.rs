@@ -1,6 +1,11 @@
 //! Extension experiment (see `fgbd_repro::experiments::ext_lifespans`).
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output. Every run
+//! writes a `fgbd.run-manifest/v1` document under `out/manifests/ext_lifespans.*`.
 
 fn main() {
-    let summary = fgbd_repro::experiments::ext_lifespans::run();
-    println!("{}", summary.save());
+    fgbd_repro::harness::experiment_main(
+        "ext_lifespans",
+        fgbd_repro::experiments::ext_lifespans::run,
+    );
 }

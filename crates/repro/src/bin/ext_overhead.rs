@@ -1,6 +1,11 @@
 //! Extension experiment (see `fgbd_repro::experiments::ext_overhead`).
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output. Every run
+//! writes a `fgbd.run-manifest/v1` document under `out/manifests/ext_overhead.*`.
 
 fn main() {
-    let summary = fgbd_repro::experiments::ext_overhead::run();
-    println!("{}", summary.save());
+    fgbd_repro::harness::experiment_main(
+        "ext_overhead",
+        fgbd_repro::experiments::ext_overhead::run,
+    );
 }

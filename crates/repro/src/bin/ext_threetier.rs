@@ -1,6 +1,11 @@
 //! Extension experiment (see `fgbd_repro::experiments::ext_threetier`).
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output. Every run
+//! writes a `fgbd.run-manifest/v1` document under `out/manifests/ext_threetier.*`.
 
 fn main() {
-    let summary = fgbd_repro::experiments::ext_threetier::run();
-    println!("{}", summary.save());
+    fgbd_repro::harness::experiment_main(
+        "ext_threetier",
+        fgbd_repro::experiments::ext_threetier::run,
+    );
 }

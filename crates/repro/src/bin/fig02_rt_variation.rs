@@ -1,6 +1,8 @@
 //! Regenerates the paper's fig02 (see `fgbd_repro::experiments::fig02`).
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output. Every run
+//! writes a `fgbd.run-manifest/v1` document under `out/manifests/fig02.*`.
 
 fn main() {
-    let summary = fgbd_repro::experiments::fig02::run();
-    println!("{}", summary.save());
+    fgbd_repro::harness::experiment_main("fig02", fgbd_repro::experiments::fig02::run);
 }

@@ -1,6 +1,8 @@
 //! Regenerates the paper's fig07 (see `fgbd_repro::experiments::fig07`).
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output. Every run
+//! writes a `fgbd.run-manifest/v1` document under `out/manifests/fig07.*`.
 
 fn main() {
-    let summary = fgbd_repro::experiments::fig07::run();
-    println!("{}", summary.save());
+    fgbd_repro::harness::experiment_main("fig07", fgbd_repro::experiments::fig07::run);
 }

@@ -1,6 +1,8 @@
 //! Regenerates the paper's fig10 (see `fgbd_repro::experiments::fig10`).
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output. Every run
+//! writes a `fgbd.run-manifest/v1` document under `out/manifests/fig10.*`.
 
 fn main() {
-    let summary = fgbd_repro::experiments::fig10::run();
-    println!("{}", summary.save());
+    fgbd_repro::harness::experiment_main("fig10", fgbd_repro::experiments::fig10::run);
 }

@@ -1,6 +1,8 @@
 //! Regenerates the paper's fig11 (see `fgbd_repro::experiments::fig11`).
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output. Every run
+//! writes a `fgbd.run-manifest/v1` document under `out/manifests/fig11.*`.
 
 fn main() {
-    let summary = fgbd_repro::experiments::fig11::run();
-    println!("{}", summary.save());
+    fgbd_repro::harness::experiment_main("fig11", fgbd_repro::experiments::fig11::run);
 }

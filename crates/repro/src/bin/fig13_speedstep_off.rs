@@ -1,6 +1,8 @@
 //! Regenerates the paper's fig13 (see `fgbd_repro::experiments::fig13`).
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output. Every run
+//! writes a `fgbd.run-manifest/v1` document under `out/manifests/fig13.*`.
 
 fn main() {
-    let summary = fgbd_repro::experiments::fig13::run();
-    println!("{}", summary.save());
+    fgbd_repro::harness::experiment_main("fig13", fgbd_repro::experiments::fig13::run);
 }

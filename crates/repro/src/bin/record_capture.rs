@@ -3,17 +3,19 @@
 //!
 //! ```bash
 //! cargo run -p fgbd-repro --release --bin record_capture -- \
-//!     [scenario] [users] [seconds] [out.fgbdcap]
+//!     [scenario] [users] [seconds] [out.fgbdcap] [--quiet]
 //! ```
 //!
 //! `scenario` is one of `speedstep_on`, `speedstep_off`, `gc_jdk15`,
 //! `gc_jdk16` (default `gc_jdk15`); defaults: 6,000 users, 30 s,
-//! `target/experiments/capture.fgbdcap`.
+//! `target/experiments/capture.fgbdcap`. A run manifest is written to
+//! `out/manifests/record_capture.*`.
 
 use std::fs::File;
 use std::io::BufWriter;
 
 use fgbd_des::SimDuration;
+use fgbd_obsv::json::Json;
 use fgbd_repro::report::out_dir;
 use fgbd_repro::{Scenario, GC_JDK15, GC_JDK16, SPEEDSTEP_OFF, SPEEDSTEP_ON};
 use fgbd_trace::write_capture;
@@ -29,8 +31,8 @@ fn scenario_by_name(name: &str) -> Option<Scenario> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scenario_name = args.get(1).map_or("gc_jdk15", String::as_str);
+    let args = fgbd_repro::harness::parse_std_flags();
+    let scenario_name = args.first().map_or("gc_jdk15", String::as_str);
     let Some(scenario) = scenario_by_name(scenario_name) else {
         eprintln!(
             "unknown scenario {scenario_name}; try speedstep_on, speedstep_off, gc_jdk15, gc_jdk16"
@@ -38,30 +40,49 @@ fn main() {
         std::process::exit(2);
     };
     let users: u32 = args
-        .get(2)
+        .get(1)
         .map_or(Ok(6_000), |s| s.parse())
         .expect("users must be a number");
     let secs: u64 = args
-        .get(3)
+        .get(2)
         .map_or(Ok(30), |s| s.parse())
         .expect("seconds must be a number");
     let path = args
-        .get(4)
+        .get(3)
         .cloned()
         .unwrap_or_else(|| out_dir().join("capture.fgbdcap").display().to_string());
 
-    eprintln!("simulating {scenario_name} at WL {users} for {secs}s ...");
-    let mut cfg = scenario.config(users);
-    cfg.duration = SimDuration::from_secs(secs);
-    let run = fgbd_ntier::system::NTierSystem::run(cfg);
-    eprintln!(
+    let mut scope = fgbd_repro::harness::begin("record_capture");
+    scope.field("scenario", Json::Str(scenario_name.to_string()));
+    scope.field("users", Json::Num(f64::from(users)));
+    scope.field("seconds", Json::Num(secs as f64));
+
+    fgbd_obsv::log!(
+        "record_capture",
+        "simulating {scenario_name} at WL {users} for {secs}s ..."
+    );
+    let run = {
+        fgbd_obsv::span!("record_capture");
+        let mut cfg = scenario.config(users);
+        cfg.duration = SimDuration::from_secs(secs);
+        let run = fgbd_ntier::system::NTierSystem::run(cfg);
+        let file = File::create(&path).expect("create capture file");
+        write_capture(BufWriter::new(file), &run.log).expect("write capture");
+        run
+    };
+    fgbd_obsv::log!(
+        "record_capture",
         "  {} messages captured, throughput {:.0} tx/s",
         run.log.records.len(),
         run.throughput()
     );
 
-    let file = File::create(&path).expect("create capture file");
-    write_capture(BufWriter::new(file), &run.log).expect("write capture");
-    println!("wrote {path}");
-    println!("analyze it with: cargo run -p fgbd-repro --release --bin analyze_capture -- {path}");
+    scope.field("messages", Json::Num(run.log.records.len() as f64));
+    scope.artifact(&path);
+    scope.finish();
+    fgbd_obsv::log!("record_capture", "wrote {path}");
+    fgbd_obsv::log!(
+        "record_capture",
+        "analyze it with: cargo run -p fgbd-repro --release --bin analyze_capture -- {path}"
+    );
 }

@@ -1,9 +1,14 @@
 //! Regenerates every table and figure of the paper in order, saving
-//! summaries and CSV series under `target/experiments/`.
+//! summaries and CSV series under `target/experiments/` and one run
+//! manifest per experiment under `out/manifests/`.
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output.
 
 fn main() {
+    fgbd_repro::harness::parse_std_flags();
     let summaries = fgbd_repro::experiments::run_all();
-    println!(
+    fgbd_obsv::log!(
+        "run_all",
         "== all experiments complete: {} artifacts ==",
         summaries.len()
     );

@@ -1,6 +1,8 @@
 //! Regenerates the paper's table01 (see `fgbd_repro::experiments::table01`).
+//!
+//! Standard flags: `--quiet` mutes the `[fgbd:…]` log output. Every run
+//! writes a `fgbd.run-manifest/v1` document under `out/manifests/table01.*`.
 
 fn main() {
-    let summary = fgbd_repro::experiments::table01::run();
-    println!("{}", summary.save());
+    fgbd_repro::harness::experiment_main("table01", fgbd_repro::experiments::table01::run);
 }

@@ -45,15 +45,18 @@ pub fn run() -> ExperimentSummary {
     let tputs: Vec<f64> = results.iter().map(|r| r.throughput()).collect();
     let rts: Vec<f64> = results.iter().map(|r| r.mean_response_time()).collect();
     let slow: Vec<f64> = results.iter().map(|r| r.frac_slower_than(two_s)).collect();
-    println!(
+    fgbd_obsv::log!(
+        "fig02",
         "{}",
         plot::timeline("Fig 2(a) throughput [tx/s] vs WL (1k..16k)", &tputs, 10)
     );
-    println!(
+    fgbd_obsv::log!(
+        "fig02",
         "{}",
         plot::timeline("Fig 2(a) mean response time [s] vs WL", &rts, 10)
     );
-    println!(
+    fgbd_obsv::log!(
+        "fig02",
         "{}",
         plot::timeline("Fig 2(b) fraction of requests > 2 s vs WL", &slow, 10)
     );
@@ -76,7 +79,8 @@ pub fn run() -> ExperimentSummary {
         .iter()
         .map(|&(_, _, c)| (c as f64 + 1.0).log10())
         .collect();
-    println!(
+    fgbd_obsv::log!(
+        "fig02",
         "{}",
         plot::timeline("Fig 2(c) log10(count) per RT bucket at WL 8,000", &bar, 8)
     );

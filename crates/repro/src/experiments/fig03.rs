@@ -30,7 +30,8 @@ pub fn run() -> ExperimentSummary {
             .filter(|u| u.at >= res.warmup_end)
             .map(|u| u.util * 100.0)
             .collect();
-        println!(
+        fgbd_obsv::log!(
+            "fig03",
             "{}",
             plot::timeline(
                 &format!("Fig 3 {name} CPU util [%] at 1s granularity"),

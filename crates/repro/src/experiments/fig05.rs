@@ -31,11 +31,13 @@ pub fn run() -> ExperimentSummary {
     let tputs: Vec<f64> = (0..zoom_report.tput.len())
         .map(|i| zoom_report.tput.equivalent_rate(i, ms))
         .collect();
-    println!(
+    fgbd_obsv::log!(
+        "fig05",
         "{}",
         plot::timeline("Fig 5(a) MySQL load per 50 ms (12 s zoom)", &loads, 10)
     );
-    println!(
+    fgbd_obsv::log!(
+        "fig05",
         "{}",
         plot::timeline(
             "Fig 5(b) MySQL throughput [eq-req/s] per 50 ms (12 s zoom)",
@@ -78,7 +80,8 @@ pub fn run() -> ExperimentSummary {
             marks.push((x, y, '3'));
         }
     }
-    println!(
+    fgbd_obsv::log!(
+        "fig05",
         "{}",
         plot::scatter(
             "Fig 5(c) MySQL load vs throughput [eq-req/s], 50 ms intervals (3 min)",

@@ -52,7 +52,8 @@ pub fn run() -> ExperimentSummary {
         SimDuration::from_millis(5),
     );
     let steps = LoadSeries::from_spans(&spans, fine);
-    println!(
+    fgbd_obsv::log!(
+        "fig06",
         "{}",
         plot::timeline(
             "Fig 6 concurrent requests n(t) (5 ms steps)",

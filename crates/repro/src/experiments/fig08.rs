@@ -30,7 +30,8 @@ pub fn run() -> ExperimentSummary {
         let window = analysis.window(SimDuration::from_millis(ms));
         let report = analysis.report("mysql-1", window, &cfg);
         let pts = analysis.scatter_points_eq(&report);
-        println!(
+        fgbd_obsv::log!(
+            "fig08",
             "{}",
             plot::scatter(
                 &format!("Fig 8 ({label}) MySQL load vs throughput at WL 14,000"),

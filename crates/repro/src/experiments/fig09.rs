@@ -33,7 +33,8 @@ pub fn run() -> ExperimentSummary {
     let mut frozen = Vec::new();
     for (&(wl, fig), (analysis, report)) in cases.iter().zip(&computed) {
         let pts = analysis.scatter_points_eq(report);
-        println!(
+        fgbd_obsv::log!(
+            "fig09",
             "{}",
             plot::scatter(
                 &format!("Fig {fig} Tomcat load vs throughput at WL {wl} (JDK 1.5)"),
@@ -89,11 +90,13 @@ pub fn run() -> ExperimentSummary {
             let tputs: Vec<f64> = (0..zr.tput.len())
                 .map(|i| zr.tput.equivalent_rate(i, ms))
                 .collect();
-            println!(
+            fgbd_obsv::log!(
+                "fig09",
                 "{}",
                 plot::timeline("Fig 9(c) Tomcat load per 50 ms (10 s zoom)", &loads, 9)
             );
-            println!(
+            fgbd_obsv::log!(
+                "fig09",
                 "{}",
                 plot::timeline(
                     "Fig 9(c) Tomcat throughput [eq-req/s] per 50 ms (10 s zoom)",

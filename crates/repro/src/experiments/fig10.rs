@@ -77,7 +77,8 @@ pub fn run() -> ExperimentSummary {
         interval,
     );
     let zrt = mean_per_interval(&analysis.rt_events(), &zoom);
-    println!(
+    fgbd_obsv::log!(
+        "fig10",
         "{}",
         plot::timeline(
             "Fig 10(a) Tomcat GC running ratio per 50 ms (12 s)",
@@ -85,11 +86,13 @@ pub fn run() -> ExperimentSummary {
             6
         )
     );
-    println!(
+    fgbd_obsv::log!(
+        "fig10",
         "{}",
         plot::timeline("Fig 10(a) Tomcat load per 50 ms (12 s)", &zloads, 9)
     );
-    println!(
+    fgbd_obsv::log!(
+        "fig10",
         "{}",
         plot::timeline(
             "Fig 10(b) system response time [s] per 50 ms (12 s)",

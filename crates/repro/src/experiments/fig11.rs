@@ -38,7 +38,8 @@ pub fn run() -> ExperimentSummary {
 
         if *label == "jdk16" {
             let pts = analysis.scatter_points_eq(report);
-            println!(
+            fgbd_obsv::log!(
+                "fig11",
                 "{}",
                 plot::scatter(
                     "Fig 11(a) Tomcat load vs throughput at WL 14,000 (JDK 1.6)",
@@ -60,7 +61,8 @@ pub fn run() -> ExperimentSummary {
             &analysis.rt_events(),
             &analysis.window(SimDuration::from_secs(1)),
         );
-        println!(
+        fgbd_obsv::log!(
+            "fig11",
             "{}",
             plot::timeline(
                 &format!(

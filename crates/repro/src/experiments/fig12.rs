@@ -60,7 +60,8 @@ pub fn summarize_mysql(
     let cfg = DetectorConfig::default();
     let interval = SimDuration::from_millis(50);
     let pts = analysis.scatter_points_eq(report);
-    println!(
+    fgbd_obsv::log!(
+        "fig12",
         "{}",
         plot::scatter(
             &format!(
@@ -92,7 +93,8 @@ pub fn summarize_mysql(
         let tputs: Vec<f64> = (0..zr.tput.len())
             .map(|i| zr.tput.equivalent_rate(i, ms))
             .collect();
-        println!(
+        fgbd_obsv::log!(
+            "fig12",
             "{}",
             plot::timeline(
                 &format!("Fig {fig_label} zoom: MySQL load per 50 ms (10 s)"),
@@ -100,7 +102,8 @@ pub fn summarize_mysql(
                 9
             )
         );
-        println!(
+        fgbd_obsv::log!(
+            "fig12",
             "{}",
             plot::timeline(
                 &format!("Fig {fig_label} zoom: MySQL throughput [eq-req/s] per 50 ms (10 s)"),

@@ -28,11 +28,12 @@ pub mod table02;
 
 use crate::report::ExperimentSummary;
 
-/// Runs every experiment in paper order, printing each summary as it
-/// lands; returns all summaries.
-pub fn run_all() -> Vec<ExperimentSummary> {
-    type Experiment = (&'static str, fn() -> ExperimentSummary);
-    let experiments: Vec<Experiment> = vec![
+/// An experiment entry point, as registered in [`all`].
+pub type ExperimentFn = fn() -> ExperimentSummary;
+
+/// Every experiment in paper order, as `(id, run)` pairs.
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
         ("fig02", fig02::run),
         ("fig03", fig03::run),
         ("table01", table01::run),
@@ -53,13 +54,17 @@ pub fn run_all() -> Vec<ExperimentSummary> {
         ("ext_lifespans", ext_lifespans::run),
         ("ext_drift", ext_drift::run),
         ("ext_autointerval", ext_autointerval::run),
-    ];
+    ]
+}
+
+/// Runs every experiment in paper order, printing each summary as it
+/// lands and writing one run manifest per experiment (see
+/// [`crate::harness`]); returns all summaries.
+pub fn run_all() -> Vec<ExperimentSummary> {
     let mut out = Vec::new();
-    for (name, f) in experiments {
-        eprintln!(">> running {name}");
-        let summary = f();
-        println!("{}", summary.save());
-        out.push(summary);
+    for (name, f) in all() {
+        fgbd_obsv::log!("run_all", ">> running {name}");
+        out.push(crate::harness::run_experiment(name, f));
     }
     out
 }

@@ -15,6 +15,9 @@
 //!   per-server report fan-out.
 //! * [`experiments`] — one module per paper artifact; `experiments::run_all`
 //!   regenerates everything.
+//! * [`harness`] — run-manifest scopes and the standard telemetry flags
+//!   (`--quiet`, `FGBD_OBSV`, `FGBD_QUIET`) shared by every binary; each
+//!   run writes a `fgbd.run-manifest/v1` document under `out/manifests/`.
 //! * [`plot`] / [`report`] — terminal rendering and CSV/summary output under
 //!   `target/experiments/`.
 //!
@@ -31,6 +34,7 @@
 //! ```
 
 pub mod experiments;
+pub mod harness;
 pub mod par;
 pub mod pipeline;
 pub mod plot;

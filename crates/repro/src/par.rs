@@ -50,11 +50,17 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    // Telemetry spans opened inside jobs must root under the span that
+    // forked the work, so capture the caller's span path once and have
+    // every worker adopt it. (Nested par_map calls run inline on the
+    // worker thread, so their spans nest naturally — no extra handling.)
+    let base_span_path = fgbd_obsv::span::current_path();
     let locals: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|_| {
                     IN_PAR_MAP.set(true);
+                    fgbd_obsv::span::adopt_path(&base_span_path);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -63,6 +69,10 @@ where
                         }
                         out.push((i, job(&items[i])));
                     }
+                    // All job spans are closed now; hand this worker's span
+                    // statistics to the global aggregate before the join, so
+                    // the caller's next snapshot sees a complete tree.
+                    fgbd_obsv::span::flush_thread();
                     out
                 })
             })

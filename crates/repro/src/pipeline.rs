@@ -36,6 +36,7 @@ impl Calibration {
     /// Builds the calibration from any captured run (normally
     /// [`Scenario::calibration_run`]).
     pub fn from_run(run: &RunResult) -> Calibration {
+        fgbd_obsv::span!("calibrate");
         let rec = Reconstruction::run(&run.log, Heuristic::ProfileGuided);
         let services = ServiceTimeTable::approximate(&rec, SERVICE_QUANTILE);
         let mut work_units = HashMap::new();
@@ -155,6 +156,7 @@ impl Analysis {
     /// Returns `(name, report)` pairs in the run's server order; servers
     /// without any spans are skipped.
     pub fn report_all(&self, window: Window, cfg: &DetectorConfig) -> Vec<(String, ServerReport)> {
+        fgbd_obsv::span!("report_all");
         let servers: Vec<_> = self
             .run
             .servers

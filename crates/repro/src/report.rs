@@ -4,12 +4,34 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// The directory experiment artifacts are written to.
 pub fn out_dir() -> PathBuf {
     let dir = Path::new("target").join("experiments");
     fs::create_dir_all(&dir).expect("create target/experiments");
     dir
+}
+
+/// Artifact paths written since the last [`take_artifacts`] — collected so
+/// the run-manifest scope (see [`crate::harness`]) can list exactly the
+/// files the wrapped run produced.
+static ARTIFACTS: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
+
+fn note_artifact(path: &Path) {
+    ARTIFACTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(path.to_path_buf());
+}
+
+/// Drains the list of artifact paths recorded since the previous call.
+pub fn take_artifacts() -> Vec<PathBuf> {
+    std::mem::take(
+        &mut *ARTIFACTS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    )
 }
 
 /// Writes a CSV file under [`out_dir`]; returns its path.
@@ -26,6 +48,7 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
         assert_eq!(row.len(), header.len(), "csv row width mismatch");
         writeln!(f, "{}", row.join(",")).expect("write csv row");
     }
+    note_artifact(&path);
     path
 }
 
@@ -99,7 +122,8 @@ impl ExperimentSummary {
     pub fn save(&self) -> String {
         let s = self.render();
         let path = out_dir().join(format!("{}.txt", self.id));
-        fs::write(path, &s).expect("write summary");
+        fs::write(&path, &s).expect("write summary");
+        note_artifact(&path);
         s
     }
 }

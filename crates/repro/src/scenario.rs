@@ -58,12 +58,16 @@ impl Scenario {
 
     /// Runs the scenario at workload `users` with the capture enabled.
     pub fn run(&self, users: u32) -> RunResult {
+        fgbd_obsv::span!("simulate");
+        fgbd_obsv::counter!("scenario.runs", self.name, 1);
         NTierSystem::run(self.config(users))
     }
 
     /// Runs without message capture — cheaper, for experiments that only
     /// need client-side samples and CPU counters (Fig 2, Fig 3, Table I).
     pub fn run_uncaptured(&self, users: u32) -> RunResult {
+        fgbd_obsv::span!("simulate");
+        fgbd_obsv::counter!("scenario.runs", self.name, 1);
         let mut cfg = self.config(users);
         cfg.capture = false;
         NTierSystem::run(cfg)
@@ -73,6 +77,8 @@ impl Scenario {
     /// approximation (the paper measures service times "when the production
     /// system is under low workload").
     pub fn calibration_run(&self) -> RunResult {
+        fgbd_obsv::span!("simulate");
+        fgbd_obsv::counter!("scenario.runs", self.name, 1);
         let mut cfg = self.config(400);
         cfg.warmup = SimDuration::from_secs(5);
         cfg.duration = SimDuration::from_secs(40);

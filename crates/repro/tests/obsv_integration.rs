@@ -1,0 +1,109 @@
+//! Telemetry under the harness's fork/join parallelism: worker spans must
+//! aggregate into one coherent tree across [`fgbd_repro::par::par_map`]
+//! (including the nested-inline case), and instrument totals must stay
+//! exact under arbitrary thread interleavings.
+
+use fgbd_repro::par::par_map;
+use proptest::prelude::*;
+
+/// Spans opened inside `par_map` jobs — and inside a *nested* `par_map`
+/// that re-enters inline on the worker thread — merge under the span
+/// that forked the work, with exact call counts. Nothing floats at top
+/// level and no calls are lost to the scope join.
+#[test]
+fn par_map_worker_spans_merge_into_one_tree() {
+    const ITEMS: u64 = 24;
+    const INNER: u64 = 4;
+    let before = fgbd_obsv::span::snapshot();
+    let items: Vec<u64> = (0..ITEMS).collect();
+    let sums = {
+        fgbd_obsv::span!("t_int_fork_root");
+        par_map(&items, |&x| {
+            let _job = fgbd_obsv::span::enter("t_int_job");
+            let inner: Vec<u64> = (0..INNER).collect();
+            par_map(&inner, |&y| {
+                fgbd_obsv::span!("t_int_inner");
+                x + y
+            })
+            .into_iter()
+            .sum::<u64>()
+        })
+    };
+    assert_eq!(sums.len(), items.len());
+
+    let after = fgbd_obsv::span::snapshot().delta(&before);
+    assert_eq!(after.spans["t_int_fork_root"].calls, 1);
+    assert_eq!(
+        after.spans["t_int_fork_root;t_int_job"].calls, ITEMS,
+        "every job span must land under the forking root"
+    );
+    assert_eq!(
+        after.spans["t_int_fork_root;t_int_job;t_int_inner"].calls,
+        ITEMS * INNER,
+        "nested inline par_map spans must nest under the job span"
+    );
+    assert!(
+        !after.spans.contains_key("t_int_job") && !after.spans.contains_key("t_int_inner"),
+        "no worker span may float at top level: {:?}",
+        after.spans.keys().collect::<Vec<_>>()
+    );
+}
+
+/// The same merge discipline holds when the fan-out happens inside an
+/// already-open span stack more than one deep.
+#[test]
+fn par_map_adopts_multi_level_span_paths() {
+    let before = fgbd_obsv::span::snapshot();
+    let items: Vec<u32> = (0..9).collect();
+    {
+        fgbd_obsv::span!("t_int_deep_a");
+        fgbd_obsv::span!("t_int_deep_b");
+        par_map(&items, |&x| {
+            fgbd_obsv::span!("t_int_deep_leaf");
+            x * 2
+        });
+    }
+    let after = fgbd_obsv::span::snapshot().delta(&before);
+    assert_eq!(
+        after.spans["t_int_deep_a;t_int_deep_b;t_int_deep_leaf"].calls,
+        9
+    );
+}
+
+proptest! {
+    /// Counter and histogram totals are exact under arbitrary
+    /// interleavings: however the increments are split across threads,
+    /// the snapshot delta equals the arithmetic truth.
+    #[test]
+    fn counter_totals_are_exact_under_interleavings(
+        increments in prop::collection::vec(0u64..1_000, 1..96),
+        threads in 1usize..8,
+    ) {
+        let before = fgbd_obsv::metrics::snapshot();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let chunk: Vec<u64> = increments
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect();
+                s.spawn(move || {
+                    for v in chunk {
+                        fgbd_obsv::counter!("t_int_prop_total", v);
+                        fgbd_obsv::histogram!("t_int_prop_hist", v);
+                    }
+                });
+            }
+        });
+        let d = fgbd_obsv::metrics::snapshot().delta(&before);
+        let expected: u64 = increments.iter().sum();
+        let got = d.counters.get("t_int_prop_total").copied().unwrap_or(0);
+        prop_assert_eq!(got, expected, "counter total must equal the sum of increments");
+        let hist = d.histograms.get("t_int_prop_hist").cloned().unwrap_or_default();
+        prop_assert_eq!(hist.count, increments.len() as u64);
+        prop_assert_eq!(hist.sum, expected);
+        let bucketed: u64 = hist.buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(bucketed, increments.len() as u64, "every sample lands in exactly one bucket");
+    }
+}

@@ -388,6 +388,7 @@ impl Reconstruction {
     /// beyond growing the output span table — property-tested bit-identical
     /// to [`reference::run`] across all four heuristics.
     pub fn run(log: &TraceLog, heuristic: Heuristic) -> Reconstruction {
+        fgbd_obsv::span!("reconstruct");
         assert!(
             log.records.len() < NONE as usize,
             "capture too large for u32 span indices"
@@ -635,6 +636,9 @@ impl Reconstruction {
             txn.complete = txn.spans.iter().all(|&i| spans[i].departure.is_some());
         }
 
+        fgbd_obsv::counter!("reconstruct.records", log.records.len() as u64);
+        fgbd_obsv::counter!("reconstruct.spans", spans.len() as u64);
+        fgbd_obsv::counter!("reconstruct.txns", txns.len() as u64);
         Reconstruction { spans, txns }
     }
 

@@ -61,6 +61,7 @@ impl SpanSet {
     /// in [`SpanSet::unmatched`] for the *server* side (they indicate capture
     /// truncation at the front), as are requests left unanswered at the end.
     pub fn extract(log: &TraceLog) -> SpanSet {
+        fgbd_obsv::span!("extract_spans");
         let mut open: HashMap<(NodeId, ConnId), VecDeque<MsgRecord>> = HashMap::new();
         let mut by_server: HashMap<NodeId, Vec<Span>> = HashMap::new();
         let mut unmatched: HashMap<NodeId, usize> = HashMap::new();
@@ -102,6 +103,7 @@ impl SpanSet {
         for spans in set.by_server.values_mut() {
             spans.sort_by_key(|s| (s.arrival, s.departure));
         }
+        fgbd_obsv::counter!("extract.spans", set.len() as u64);
         set
     }
 

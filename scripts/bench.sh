@@ -5,6 +5,11 @@
 # (dense fast path vs reference) and `pipeline` (end-to-end simulate →
 # reconstruct → calibrate → detect) groups.
 #
+# If any run manifests exist under out/manifests/ (written by the
+# fgbd-repro binaries, see crates/obsv), the newest one's per-stage wall
+# times are folded in as "manifest:<run>/<span path>": total_ns keys, so
+# one file tracks both microbenchmark medians and real-run stage costs.
+#
 #   scripts/bench.sh            # bench + summarize
 #   scripts/bench.sh --no-run   # summarize an existing target/criterion
 set -e
@@ -22,7 +27,12 @@ import os
 # CARGO_TARGET_DIR / cwd the tree can land under the bench package instead.
 roots = [r for r in ("target/criterion", "crates/bench/target/criterion")
          if os.path.isdir(r)]
+# Start from the committed summary so a partial run (--no-run with no
+# criterion tree, or a filtered bench) refreshes rather than wipes it.
 out = {}
+if os.path.exists("BENCH_analysis.json"):
+    with open("BENCH_analysis.json") as f:
+        out = json.load(f)
 for root in roots:
     for dirpath, _dirnames, filenames in os.walk(root):
         if "estimates.json" not in filenames:
@@ -35,6 +45,22 @@ for root in roots:
         with open(os.path.join(dirpath, "estimates.json")) as f:
             est = json.load(f)
         out[bench_id] = est["median"]["point_estimate"]
+
+# Fold in the newest run manifest's per-stage wall times, if any exist.
+# Stages come from the span tree (crates/obsv), so the keys mirror the
+# collapsed-stack paths: "manifest:fig06/pipeline;detect".
+manifest_dir = "out/manifests"
+if os.path.isdir(manifest_dir):
+    manifests = [os.path.join(manifest_dir, n)
+                 for n in os.listdir(manifest_dir) if n.endswith(".json")]
+    if manifests:
+        newest = max(manifests, key=os.path.getmtime)
+        with open(newest) as f:
+            doc = json.load(f)
+        for stage in doc.get("stages", []):
+            key = f"manifest:{doc.get('name', '?')}/{stage['path']}"
+            out[key] = stage["total_ns"]
+        print(f"folded {len(doc.get('stages', []))} stages from {newest}")
 
 with open("BENCH_analysis.json", "w") as f:
     json.dump(dict(sorted(out.items())), f, indent=2)
