@@ -15,7 +15,8 @@ pub enum Json {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any number (integers render without a fractional part).
+    /// Any number (integers render without a fractional part;
+    /// non-finite values render as `null`).
     Num(f64),
     /// A string.
     Str(String),
@@ -165,7 +166,11 @@ impl Json {
 }
 
 fn render_number(n: f64) -> String {
-    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+    if !n.is_finite() {
+        // JSON has no NaN/inf; `null` keeps caller-supplied statistics
+        // from producing a document our own parser rejects.
+        "null".to_string()
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
         format!("{}", n as i64)
     } else {
         // `{}` on f64 round-trips through shortest representation.
@@ -430,6 +435,16 @@ mod tests {
         assert_eq!(Json::Num(42.0).render(), "42");
         assert_eq!(Json::Num(0.5).render(), "0.5");
         assert_eq!(Json::Num(-3.0).render(), "-3");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        for n in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::Obj(vec![("x".into(), Json::Num(n))]);
+            let rendered = doc.render();
+            assert_eq!(rendered, r#"{"x":null}"#);
+            Json::parse(&rendered).expect("stays valid JSON");
+        }
     }
 
     #[test]

@@ -180,15 +180,29 @@ impl SpanSnapshot {
     }
 
     /// Renders the snapshot in the flamegraph *collapsed stack* format:
-    /// one `path microseconds` line per span path. Feed the dump to any
-    /// `flamegraph.pl`-compatible tool to visualize where a run spent
-    /// its time.
+    /// one `path microseconds` line per span path. The format expects
+    /// *self* (exclusive) time per stack — the renderer sums children back
+    /// into parent frame widths — so each path's value is its total minus
+    /// its direct children's totals (clamped at zero: fork/join child time
+    /// accumulated on several workers can exceed the parent's wall time).
+    /// Feed the dump to any `flamegraph.pl`-compatible tool to visualize
+    /// where a run spent its time.
     pub fn collapsed(&self) -> String {
         let mut out = String::new();
         for (path, stat) in &self.spans {
+            let prefix = format!("{path};");
+            let child_ns: u64 = self
+                .spans
+                .iter()
+                .filter(|(p, _)| {
+                    p.strip_prefix(&prefix)
+                        .is_some_and(|rest| !rest.contains(';'))
+                })
+                .map(|(_, s)| s.ns)
+                .sum();
             out.push_str(path);
             out.push(' ');
-            out.push_str(&(stat.ns / 1_000).to_string());
+            out.push_str(&(stat.ns.saturating_sub(child_ns) / 1_000).to_string());
             out.push('\n');
         }
         out
@@ -277,5 +291,39 @@ mod tests {
             .expect("span line present");
         let us: u64 = line.split(' ').nth(1).unwrap().parse().unwrap();
         assert!(us >= 1_000, "2 ms sleep should read >= 1000 us, got {us}");
+    }
+
+    #[test]
+    fn collapsed_dump_emits_self_time_not_inclusive() {
+        let mut spans = BTreeMap::new();
+        spans.insert(
+            "root".to_string(),
+            SpanStat {
+                calls: 1,
+                ns: 10_000_000,
+            },
+        );
+        spans.insert(
+            "root;child".to_string(),
+            SpanStat {
+                calls: 2,
+                ns: 6_000_000,
+            },
+        );
+        // Fork/join: leaf time summed across workers exceeds the parent.
+        spans.insert(
+            "root;child;leaf".to_string(),
+            SpanStat {
+                calls: 4,
+                ns: 9_000_000,
+            },
+        );
+        let dump = SpanSnapshot { spans }.collapsed();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(
+            lines,
+            ["root 4000", "root;child 0", "root;child;leaf 9000"],
+            "self time = total minus direct children, clamped at zero"
+        );
     }
 }

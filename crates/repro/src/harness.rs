@@ -119,7 +119,11 @@ pub fn run_experiment(
         fgbd_obsv::span!(id);
         f()
     };
-    fgbd_obsv::log!(id, "{}", summary.save());
+    // `log!` skips its arguments entirely under `--quiet`, so the save —
+    // which writes the summary file and records it as an artifact — must
+    // happen outside the macro.
+    let rendered = summary.save();
+    fgbd_obsv::log!(id, "{rendered}");
     scope.finish();
     summary
 }
@@ -135,11 +139,21 @@ pub fn experiment_main(id: &'static str, f: fn() -> ExperimentSummary) {
 mod tests {
     use super::*;
 
+    /// Serializes the scope tests: [`begin`]/[`RunScope::finish`] drain the
+    /// process-global artifact list, so concurrent scopes would steal each
+    /// other's artifacts.
+    fn hold() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// End-to-end scope test against a real (tiny) pipeline piece: the
     /// manifest must validate, contain the root span as a stage, and list
     /// the artifacts written inside the scope.
     #[test]
     fn scope_writes_a_validating_manifest_with_stages_and_artifacts() {
+        let _l = hold();
         let scope = begin("unit_harness_scope");
         {
             fgbd_obsv::span!("unit_harness_root");
@@ -164,5 +178,34 @@ mod tests {
             "csv artifact missing from manifest"
         );
         assert_eq!(doc.get("seed").unwrap().as_f64(), Some(MASTER_SEED as f64));
+    }
+
+    /// `--quiet` must only mute terminal output: the summary file is still
+    /// written and recorded as a manifest artifact. (Regression test — the
+    /// save used to run as a `log!` argument, and `log!` skips argument
+    /// evaluation entirely while quiet.)
+    #[test]
+    fn quiet_run_still_saves_and_records_the_summary() {
+        let _l = hold();
+        let txt = crate::report::out_dir().join("unit_harness_quiet.txt");
+        let _ = std::fs::remove_file(&txt);
+        let was_quiet = fgbd_obsv::quiet();
+        fgbd_obsv::set_quiet(true);
+        run_experiment("unit_harness_quiet", || {
+            let mut s = ExperimentSummary::new("unit_harness_quiet");
+            s.row("quantity", 1, 1);
+            s
+        });
+        fgbd_obsv::set_quiet(was_quiet);
+        assert!(txt.is_file(), "summary file must be written under --quiet");
+        let manifest = manifest_dir().join("unit_harness_quiet.json");
+        let doc = Json::parse(&std::fs::read_to_string(&manifest).unwrap()).unwrap();
+        let artifacts = doc.get("artifacts").unwrap().as_arr().unwrap();
+        assert!(
+            artifacts.iter().any(|a| a
+                .as_str()
+                .is_some_and(|p| p.contains("unit_harness_quiet.txt"))),
+            "summary artifact missing from quiet-run manifest"
+        );
     }
 }

@@ -236,7 +236,8 @@ impl TraceLog {
     /// record.
     ///
     /// Debug builds assert the invariant over the whole log. Release builds
-    /// run a cheap O(window) heuristic over the *copied* slice instead: if
+    /// with telemetry enabled (see [`fgbd_obsv::enabled`]) run a cheap
+    /// O(window) heuristic over the *copied* slice instead: if
     /// the extracted window is itself unsorted, or contains records outside
     /// `[from, to)`, the log violated the invariant and the binary search
     /// partitioned on garbage. That is reported as a **soft failure** — the
@@ -254,8 +255,12 @@ impl TraceLog {
         let lo = self.records.partition_point(|r| r.at < from);
         let hi = lo + self.records[lo..].partition_point(|r| r.at < to);
         let window = &self.records[lo..hi];
-        let suspect = window.windows(2).any(|w| w[0].at > w[1].at)
-            || window.iter().any(|r| r.at < from || r.at >= to);
+        // The O(window) heuristic rides on telemetry: with FGBD_OBSV=0 (or
+        // the obsv `disabled` feature) the slicing fast path keeps its
+        // single-copy cost and only debug builds check the invariant.
+        let suspect = fgbd_obsv::enabled()
+            && (window.windows(2).any(|w| w[0].at > w[1].at)
+                || window.iter().any(|r| r.at < from || r.at >= to));
         if suspect {
             fgbd_obsv::counter!("capture.unsorted_log", 1);
             fgbd_obsv::log!(

@@ -48,7 +48,10 @@ for root in roots:
 
 # Fold in the newest run manifest's per-stage wall times, if any exist.
 # Stages come from the span tree (crates/obsv), so the keys mirror the
-# collapsed-stack paths: "manifest:fig06/pipeline;detect".
+# collapsed-stack paths: "manifest:fig06/pipeline;detect". Every
+# "manifest:" key from previous summaries is dropped first: those values
+# are machine-local single-run timings, so carrying stale ones forward
+# would mix runs and accumulate keys for renamed/removed stages.
 manifest_dir = "out/manifests"
 if os.path.isdir(manifest_dir):
     manifests = [os.path.join(manifest_dir, n)
@@ -57,6 +60,7 @@ if os.path.isdir(manifest_dir):
         newest = max(manifests, key=os.path.getmtime)
         with open(newest) as f:
             doc = json.load(f)
+        out = {k: v for k, v in out.items() if not k.startswith("manifest:")}
         for stage in doc.get("stages", []):
             key = f"manifest:{doc.get('name', '?')}/{stage['path']}"
             out[key] = stage["total_ns"]
