@@ -17,8 +17,9 @@ use fgbd_repro::pipeline::{Analysis, Calibration};
 use fgbd_trace::capture::{read_capture, write_capture};
 use fgbd_trace::reconstruct::{reference as rec_reference, Heuristic, Reconstruction};
 use fgbd_trace::servicetime::ServiceTimeTable;
+use fgbd_trace::span::reference as span_reference;
 use fgbd_trace::{
-    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, Span, TraceLog, TxnId,
+    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, Span, SpanSet, TraceLog, TxnId,
 };
 
 /// Builds a synthetic 60-second span log at roughly `rate` requests/s with
@@ -468,6 +469,22 @@ fn bench_reconstruction(c: &mut Criterion) {
     group.finish();
 }
 
+/// Dense-index span extraction vs the `HashMap`-keyed reference on the
+/// high-concurrency workload — the `extract_spans` manifest stage in
+/// miniature.
+fn bench_extract_spans(c: &mut Criterion) {
+    let log = ambiguous_log(10_000, 23);
+    let mut group = c.benchmark_group("extract_spans");
+    group.throughput(criterion::Throughput::Elements(log.records.len() as u64));
+    group.bench_function("fast", |b| {
+        b.iter(|| SpanSet::extract(black_box(&log)));
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| span_reference::extract(black_box(&log)));
+    });
+    group.finish();
+}
+
 /// End-to-end pipeline at benchmark scale: simulate the paper topology,
 /// reconstruct the capture, calibrate service times, and run the detector
 /// over every server — the unit of work every sweep point and figure driver
@@ -497,6 +514,7 @@ criterion_group!(
     bench_plateau,
     bench_capture,
     bench_reconstruction,
+    bench_extract_spans,
     bench_pipeline
 );
 criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Microbenchmarks of the future-event list: the timing-wheel
+//! [`EventQueue`] against the `BinaryHeap` [`reference::HeapQueue`] under
+//! the classic *hold* model (steady state: each operation pops the earliest
+//! event and schedules a successor), at small and large pending-set sizes.
+//! The DES pops and pushes once per simulated event across millions of
+//! events per run, so per-op cost here is the `simulate` manifest stage.
+//! Each bench warms its queue with `2×` the pending-set size in hold
+//! operations before measuring, so the wheel's one-time fill cascades
+//! (and the heap's initial sift pattern) don't pollute the steady-state
+//! per-op cost being compared.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fgbd_des::queue::reference::HeapQueue;
+use fgbd_des::{Dice, EventQueue, SimDuration, SimTime};
+
+/// Pending-set size for the large hold benches (the acceptance bar: the
+/// wheel must be ≥2× the heap here).
+const LARGE: usize = 100_000;
+const SMALL: usize = 1_000;
+
+/// Random future offset mimicking the n-tier event mix: mostly short
+/// think/service delays, occasionally a long timer.
+fn offset(dice: &mut Dice) -> SimDuration {
+    let us = if dice.chance(0.05) {
+        1 + dice.index(5_000_000) as u64
+    } else {
+        1 + dice.index(20_000) as u64
+    };
+    SimDuration::from_micros(us)
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(criterion::Throughput::Elements(1));
+
+    group.bench_function("wheel_hold_100k", |b| {
+        let mut dice = Dice::seed(42);
+        let mut q = EventQueue::with_capacity(LARGE);
+        let mut now = SimTime::ZERO;
+        for i in 0..LARGE as u64 {
+            q.schedule(now + offset(&mut dice), i);
+        }
+        for _ in 0..2 * LARGE {
+            let (t, e) = q.pop().expect("hold queue never drains");
+            now = t;
+            q.schedule(now + offset(&mut dice), e);
+        }
+        b.iter(|| {
+            let (t, e) = q.pop().expect("hold queue never drains");
+            now = t;
+            q.schedule(now + offset(&mut dice), e);
+            black_box(t);
+        });
+    });
+
+    group.bench_function("heap_hold_100k", |b| {
+        let mut dice = Dice::seed(42);
+        let mut q = HeapQueue::with_capacity(LARGE);
+        let mut now = SimTime::ZERO;
+        for i in 0..LARGE as u64 {
+            q.schedule(now + offset(&mut dice), i);
+        }
+        for _ in 0..2 * LARGE {
+            let (t, e) = q.pop().expect("hold queue never drains");
+            now = t;
+            q.schedule(now + offset(&mut dice), e);
+        }
+        b.iter(|| {
+            let (t, e) = q.pop().expect("hold queue never drains");
+            now = t;
+            q.schedule(now + offset(&mut dice), e);
+            black_box(t);
+        });
+    });
+
+    group.bench_function("wheel_hold_1k", |b| {
+        let mut dice = Dice::seed(42);
+        let mut q = EventQueue::with_capacity(SMALL);
+        let mut now = SimTime::ZERO;
+        for i in 0..SMALL as u64 {
+            q.schedule(now + offset(&mut dice), i);
+        }
+        for _ in 0..2 * SMALL {
+            let (t, e) = q.pop().expect("hold queue never drains");
+            now = t;
+            q.schedule(now + offset(&mut dice), e);
+        }
+        b.iter(|| {
+            let (t, e) = q.pop().expect("hold queue never drains");
+            now = t;
+            q.schedule(now + offset(&mut dice), e);
+            black_box(t);
+        });
+    });
+
+    group.bench_function("heap_hold_1k", |b| {
+        let mut dice = Dice::seed(42);
+        let mut q = HeapQueue::with_capacity(SMALL);
+        let mut now = SimTime::ZERO;
+        for i in 0..SMALL as u64 {
+            q.schedule(now + offset(&mut dice), i);
+        }
+        for _ in 0..2 * SMALL {
+            let (t, e) = q.pop().expect("hold queue never drains");
+            now = t;
+            q.schedule(now + offset(&mut dice), e);
+        }
+        b.iter(|| {
+            let (t, e) = q.pop().expect("hold queue never drains");
+            now = t;
+            q.schedule(now + offset(&mut dice), e);
+            black_box(t);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! A fast, deterministic hasher for small trusted integer keys.
+//!
+//! The multiplicative rotate-xor construction popularized by rustc's FxHash.
+//! `std`'s default SipHash defends against adversarial keys at a real
+//! per-lookup cost; none of the workspace's hot maps (PS integrator job
+//! index, trace interning tables) ever see untrusted input, so they key on
+//! this instead. Shared here because both `fgbd-des` and `fgbd-trace` need
+//! it and the workspace stays dependency-free.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplicative rotate-xor hasher (the FxHash construction).
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// [`BuildHasher`] for [`FxHasher`]; zero-sized and deterministic (no
+/// per-process random state), so iteration-order-independent algorithms
+/// built on it stay reproducible.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher(0)
+    }
+}
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_builders() {
+        let a = FxBuildHasher.hash_one((3u32, 7u64));
+        let b = FxBuildHasher.hash_one((3u32, 7u64));
+        assert_eq!(a, b);
+        assert_ne!(a, FxBuildHasher.hash_one((7u32, 3u64)));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(u64::MAX, "max");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&u64::MAX), Some(&"max"));
+        assert_eq!(m.get(&2), None);
+    }
+}

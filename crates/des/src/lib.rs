@@ -9,9 +9,10 @@
 //! * [`SimTime`] / [`SimDuration`] — integer-microsecond simulated time,
 //!   matching the microsecond timestamps produced by the paper's passive
 //!   network tracing.
-//! * [`EventQueue`] and the [`Simulation`] driver — a classic calendar queue
-//!   with deterministic FIFO tie-breaking, so identical seeds produce
-//!   identical traces.
+//! * [`EventQueue`] and the [`Simulation`] driver — a hierarchical timing
+//!   wheel with amortized O(1) schedule/pop and deterministic FIFO
+//!   tie-breaking at equal [`SimTime`] (the contract is specified in the
+//!   [`queue`] module docs), so identical seeds produce identical traces.
 //! * [`Dice`] — a seeded random-variate generator (exponential, uniform,
 //!   bounded Pareto, …) used by the workload and transient-event models.
 //! * [`PsIntegrator`] — an exact egalitarian processor-sharing integrator
@@ -31,6 +32,7 @@
 //! assert_eq!(ev, "early");
 //! ```
 
+pub mod hash;
 pub mod ps;
 pub mod queue;
 pub mod rng;

@@ -15,8 +15,9 @@
 //! mechanisms studied in the paper.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
+use crate::hash::FxHashMap;
 use crate::time::{SimDuration, SimTime};
 
 /// Opaque identifier of a job inside a [`PsIntegrator`].
@@ -79,9 +80,19 @@ pub struct PsIntegrator {
     /// `Vec`-backed heap (push/pop touch contiguous memory, and the retained
     /// capacity means no per-event allocation at steady state) instead of
     /// node-allocating `BTreeMap` rebalances.
+    ///
+    /// Unlike the event queue, this heap cannot become a timing wheel: its
+    /// keys are *attained-work thresholds* — continuous `f64`s whose mapping
+    /// to completion times is rescaled retroactively by every DVFS speed
+    /// change and GC freeze, so there is no stable integer time axis to
+    /// bucket on, and quantizing thresholds would reintroduce exactly the
+    /// time-slicing error this integrator exists to avoid.
     jobs: BinaryHeap<Reverse<(Key, JobId)>>,
-    /// Live jobs and their current keys — the source of truth for membership.
-    index: HashMap<JobId, Key>,
+    /// Live jobs and their current keys — the source of truth for
+    /// membership. Fx-hashed: `JobId`s are sequential trusted integers, and
+    /// this map is hit on every insert/remove/lazy-deletion check, where
+    /// SipHash was measurable.
+    index: FxHashMap<JobId, Key>,
     seq: u64,
     /// Integral of occupied cores over time (core-seconds of job progress).
     busy_core_seconds: f64,
@@ -115,7 +126,7 @@ impl PsIntegrator {
             attained: 0.0,
             last_update: SimTime::ZERO,
             jobs: BinaryHeap::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             seq: 0,
             busy_core_seconds: 0.0,
             heap_ops: 0,

@@ -232,6 +232,57 @@ mod tests {
     }
 
     #[test]
+    fn event_exactly_at_horizon_runs_and_later_schedules_stay_ordered() {
+        // After stopping at a horizon with a far-future event pending (the
+        // peek that declined it must not advance the wheel), scheduling an
+        // earlier event still delivers in time order.
+        let mut sim = Simulation::new(Recorder::default());
+        sim.prime(SimTime::from_millis(5), 0);
+        sim.prime(SimTime::from_secs(3600), 9);
+        let end = sim.run_until(SimTime::from_millis(5));
+        assert_eq!(end, SimTime::from_millis(5));
+        assert_eq!(sim.actor().seen, vec![(SimTime::from_millis(5), 0)]);
+        sim.prime(SimTime::from_millis(7), 5);
+        sim.run_to_completion();
+        assert_eq!(
+            sim.actor().seen,
+            vec![
+                (SimTime::from_millis(5), 0),
+                (SimTime::from_millis(7), 5),
+                (SimTime::from_secs(3600), 9),
+            ]
+        );
+    }
+
+    #[test]
+    fn schedule_at_now_reentrancy_is_fifo_with_queued_peers() {
+        // An actor that reschedules at the current instant from inside
+        // `handle` runs after the events already queued for that instant.
+        struct Chain {
+            order: Vec<u32>,
+        }
+        impl Actor for Chain {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.order.push(ev);
+                if ev < 3 {
+                    sched.immediately(ev + 10);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Chain { order: vec![] });
+        let t = SimTime::from_millis(1);
+        for ev in [1, 2, 3] {
+            sim.prime(t, ev);
+        }
+        sim.run_until(t);
+        // 1, 2, 3 were queued first; their at-now children follow in the
+        // order the parents fired.
+        assert_eq!(sim.actor().order, vec![1, 2, 3, 11, 12]);
+        assert_eq!(sim.now(), t);
+    }
+
+    #[test]
     #[should_panic(expected = "past")]
     fn scheduling_into_the_past_panics() {
         struct Bad;

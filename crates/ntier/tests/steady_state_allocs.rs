@@ -15,12 +15,44 @@
 //! the instrumented event loop stays allocation-free at steady state: the
 //! one-time counter/histogram registrations land in the warmup window.
 
-use fgbd_des::{SimTime, Simulation};
+use fgbd_des::{EventQueue, SimDuration, SimTime, Simulation};
 use fgbd_ntier::{Ev, Jdk, NTierSystem, SystemConfig};
 use fgbd_obsv::alloc::AllocGauge;
 
 #[global_allocator]
 static GLOBAL: AllocGauge = AllocGauge::new();
+
+#[test]
+fn warmed_event_queue_holds_without_allocating() {
+    // The timing wheel keeps drained bucket capacity (and `with_capacity`
+    // pre-sizes the level-0 buckets), so a warmed queue runs the hold cycle
+    // — pop the earliest, schedule a successor — without touching the
+    // allocator, including across cascades and idle re-anchoring.
+    let mut q = EventQueue::with_capacity(4_096);
+    let mut now = SimTime::ZERO;
+    let step = |i: u64| SimDuration::from_micros(1 + (i * 7_919) % 50_000);
+    for i in 0..4_096u64 {
+        q.schedule(now + step(i), i);
+    }
+    // Warm up: one full generation of pops lets every bucket the pattern
+    // touches reach its working size.
+    for i in 0..100_000u64 {
+        let (t, e) = q.pop().unwrap();
+        now = t;
+        q.schedule(now + step(i.wrapping_mul(31) + e), e);
+    }
+    let allocs_before = GLOBAL.allocs();
+    for i in 0..100_000u64 {
+        let (t, e) = q.pop().unwrap();
+        now = t;
+        q.schedule(now + step(i.wrapping_mul(17) + e), e);
+    }
+    let allocs = GLOBAL.allocs() - allocs_before;
+    assert!(
+        allocs < 100,
+        "steady-state queue hold allocated {allocs} times over 100k ops"
+    );
+}
 
 #[test]
 fn steady_state_event_loop_is_allocation_free() {

@@ -56,8 +56,8 @@
 //! result.)
 
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hasher};
 
+use fgbd_des::hash::FxBuildHasher;
 use fgbd_des::SimTime;
 
 use crate::record::{ClassId, ConnId, MsgKind, NodeId, NodeKind, TraceLog, TxnId};
@@ -130,83 +130,36 @@ pub struct Reconstruction {
 }
 
 /// Linked-list / slot sentinel for the dense tables.
-const NONE: u32 = u32::MAX;
-
-/// Multiplicative rotate-xor hasher (the FxHash construction) for the
-/// one-time `(server, connection)` interning map: the keys are two small
-/// integers, so SipHash's per-lookup cost dominates the interning pass for
-/// nothing — there is no untrusted input to defend against here.
-struct FxHasher(u64);
-
-impl FxHasher {
-    #[inline]
-    fn mix(&mut self, v: u64) {
-        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.mix(u64::from(b));
-        }
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.mix(u64::from(v));
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.mix(v);
-    }
-}
-
-#[derive(Default)]
-struct FxBuildHasher;
-
-impl BuildHasher for FxBuildHasher {
-    type Hasher = FxHasher;
-
-    #[inline]
-    fn build_hasher(&self) -> FxHasher {
-        FxHasher(0)
-    }
-}
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// Dense per-capture tables built in one pass before reconstruction: node,
 /// class, and `(span server, connection)` identifiers are interned into
 /// contiguous `0..n` slots so the record loop indexes flat arrays instead of
 /// hashing. Node ids that appear in records but not in `log.nodes` (foreign
 /// taps, corrupt captures) are interned as servers — exactly how the
-/// reference treats them.
-struct LogIndex {
+/// reference treats them. Shared with `span::SpanSet::extract`, whose
+/// request/response pairing runs on the same `(server, connection)` slots.
+pub(crate) struct LogIndex {
     /// `NodeId.0 → dense node slot` (`NONE` = id never seen).
     node_slot: Vec<u32>,
     /// Per node slot: is this node a client generator? Replaces the old
     /// linear `Vec::contains` client test with one indexed load.
     client: Vec<bool>,
     /// Number of interned nodes.
-    n_nodes: usize,
+    pub(crate) n_nodes: usize,
     /// `ClassId.0 → dense class slot`.
     class_slot: Vec<u32>,
     /// Number of interned classes.
     n_classes: usize,
     /// Per record: dense slot of its `(span server, connection)` pair — the
     /// key request/response matching runs on.
-    rec_conn: Vec<u32>,
+    pub(crate) rec_conn: Vec<u32>,
     /// Number of interned `(span server, connection)` pairs.
-    n_conns: usize,
+    pub(crate) n_conns: usize,
 }
 
 impl LogIndex {
-    fn build(log: &TraceLog) -> LogIndex {
+    pub(crate) fn build(log: &TraceLog) -> LogIndex {
         let mut max_node = 0usize;
         let mut max_class = 0usize;
         for n in &log.nodes {
@@ -259,7 +212,7 @@ impl LogIndex {
     }
 
     #[inline]
-    fn node(&self, id: NodeId) -> usize {
+    pub(crate) fn node(&self, id: NodeId) -> usize {
         self.node_slot[usize::from(id.0)] as usize
     }
 }

@@ -7,12 +7,13 @@
 //! with responses on the same TCP connection — requests on one connection are
 //! serviced serially, so pairing is FIFO per `(server, conn)`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 
 use fgbd_des::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
-use crate::record::{ClassId, ConnId, MsgKind, MsgRecord, NodeId, TraceLog, TxnId};
+use crate::reconstruct::{LogIndex, NONE};
+use crate::record::{ClassId, ConnId, MsgKind, NodeId, TraceLog, TxnId};
 
 /// One request's residence interval at one server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,8 +61,163 @@ impl SpanSet {
     /// Responses with no outstanding request on their connection are counted
     /// in [`SpanSet::unmatched`] for the *server* side (they indicate capture
     /// truncation at the front), as are requests left unanswered at the end.
+    ///
+    /// This is the dense fast path: one [`LogIndex`] interning pass maps
+    /// every record to its `(server, connection)` slot, so the pairing loop
+    /// runs on flat arrays (per-slot FIFO of open request indices threaded
+    /// through one `next` table) instead of re-hashing `(NodeId, ConnId)`
+    /// keys per record, and per-server output is preallocated from a
+    /// response-count pre-pass. Property-tested bit-identical to
+    /// [`reference::extract`], the original `HashMap`-keyed implementation.
     pub fn extract(log: &TraceLog) -> SpanSet {
         fgbd_obsv::span!("extract_spans");
+        assert!(
+            log.records.len() < NONE as usize,
+            "capture too large for u32 record indices"
+        );
+        let ix = LogIndex::build(log);
+        // Pre-pass: responses per server = matched spans + front-truncated
+        // responses — an exact preallocation bound for each output bucket.
+        let mut resp_count = vec![0u32; ix.n_nodes];
+        for rec in &log.records {
+            if rec.kind == MsgKind::Response {
+                resp_count[ix.node(rec.span_node())] += 1;
+            }
+        }
+        let mut by_slot: Vec<Vec<Span>> = resp_count
+            .iter()
+            .map(|&n| Vec::with_capacity(n as usize))
+            .collect();
+        let mut slot_node = vec![NodeId(u16::MAX); ix.n_nodes];
+        let mut unmatched_slot = vec![0usize; ix.n_nodes];
+        // Per-(server, conn)-slot FIFO of open request record indices,
+        // singly linked through `next`.
+        let mut head = vec![NONE; ix.n_conns];
+        let mut tail = vec![NONE; ix.n_conns];
+        let mut next = vec![NONE; log.records.len()];
+        let mut matched = 0u64;
+        for (i, rec) in log.records.iter().enumerate() {
+            let conn = ix.rec_conn[i] as usize;
+            match rec.kind {
+                MsgKind::Request => {
+                    let t = tail[conn];
+                    if t == NONE {
+                        head[conn] = i as u32;
+                    } else {
+                        next[t as usize] = i as u32;
+                    }
+                    tail[conn] = i as u32;
+                }
+                MsgKind::Response => {
+                    let server = rec.span_node();
+                    let slot = ix.node(server);
+                    slot_node[slot] = server;
+                    let h = head[conn];
+                    if h == NONE {
+                        unmatched_slot[slot] += 1;
+                    } else {
+                        let req = &log.records[h as usize];
+                        head[conn] = next[h as usize];
+                        if head[conn] == NONE {
+                            tail[conn] = NONE;
+                        }
+                        matched += 1;
+                        by_slot[slot].push(Span {
+                            server,
+                            class: req.class,
+                            arrival: req.at,
+                            departure: rec.at,
+                            conn: rec.conn,
+                            truth: req.truth,
+                        });
+                    }
+                }
+            }
+        }
+        // Requests still open at capture end.
+        for &first in head.iter().take(ix.n_conns) {
+            let mut cur = first;
+            while cur != NONE {
+                let rec = &log.records[cur as usize];
+                let server = rec.span_node();
+                let slot = ix.node(server);
+                slot_node[slot] = server;
+                unmatched_slot[slot] += 1;
+                cur = next[cur as usize];
+            }
+        }
+        let mut by_server: HashMap<NodeId, Vec<Span>> = HashMap::with_capacity(ix.n_nodes);
+        for mut bucket in by_slot {
+            if !bucket.is_empty() {
+                bucket.sort_by_key(|s| (s.arrival, s.departure));
+                by_server.insert(bucket[0].server, bucket);
+            }
+        }
+        let mut unmatched: HashMap<NodeId, usize> = HashMap::new();
+        for (slot, &n) in unmatched_slot.iter().enumerate() {
+            if n > 0 {
+                unmatched.insert(slot_node[slot], n);
+            }
+        }
+        let set = SpanSet {
+            by_server,
+            unmatched,
+        };
+        fgbd_obsv::counter!("trace.extract_reuse_hits", matched);
+        fgbd_obsv::counter!("extract.spans", set.len() as u64);
+        set
+    }
+
+    /// Spans observed at `server`, sorted by arrival.
+    pub fn server(&self, server: NodeId) -> &[Span] {
+        self.by_server.get(&server).map_or(&[], Vec::as_slice)
+    }
+
+    /// Servers that have at least one span.
+    pub fn servers(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self.by_server.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// The spans of several servers merged into one arrival-sorted list —
+    /// a *tier-level* view (e.g. both Tomcats as one logical server). The
+    /// per-span `server` field is preserved so class/service lookups stay
+    /// correct.
+    pub fn merged(&self, servers: &[NodeId]) -> Vec<Span> {
+        let mut out: Vec<Span> = servers
+            .iter()
+            .flat_map(|&n| self.server(n).iter().copied())
+            .collect();
+        out.sort_by_key(|s| (s.arrival, s.departure));
+        out
+    }
+
+    /// Total spans across all servers.
+    pub fn len(&self) -> usize {
+        self.by_server.values().map(Vec::len).sum()
+    }
+
+    /// `true` if no spans were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+pub mod reference {
+    //! The original `HashMap`-keyed span extractor, kept verbatim as the
+    //! executable specification the dense fast path is property-tested
+    //! bit-identical to (the same role `reconstruct::reference` plays for
+    //! reconstruction), and as the baseline of the `extract_spans` bench.
+
+    use std::collections::{HashMap, VecDeque};
+
+    use super::{Span, SpanSet};
+    use crate::record::{ConnId, MsgKind, MsgRecord, NodeId, TraceLog};
+
+    /// Extracts spans by FIFO request/response pairing per
+    /// `(server, connection)`; see [`SpanSet::extract`].
+    pub fn extract(log: &TraceLog) -> SpanSet {
         let mut open: HashMap<(NodeId, ConnId), VecDeque<MsgRecord>> = HashMap::new();
         let mut by_server: HashMap<NodeId, Vec<Span>> = HashMap::new();
         let mut unmatched: HashMap<NodeId, usize> = HashMap::new();
@@ -103,50 +259,14 @@ impl SpanSet {
         for spans in set.by_server.values_mut() {
             spans.sort_by_key(|s| (s.arrival, s.departure));
         }
-        fgbd_obsv::counter!("extract.spans", set.len() as u64);
         set
-    }
-
-    /// Spans observed at `server`, sorted by arrival.
-    pub fn server(&self, server: NodeId) -> &[Span] {
-        self.by_server.get(&server).map_or(&[], Vec::as_slice)
-    }
-
-    /// Servers that have at least one span.
-    pub fn servers(&self) -> Vec<NodeId> {
-        let mut ids: Vec<NodeId> = self.by_server.keys().copied().collect();
-        ids.sort();
-        ids
-    }
-
-    /// The spans of several servers merged into one arrival-sorted list —
-    /// a *tier-level* view (e.g. both Tomcats as one logical server). The
-    /// per-span `server` field is preserved so class/service lookups stay
-    /// correct.
-    pub fn merged(&self, servers: &[NodeId]) -> Vec<Span> {
-        let mut out: Vec<Span> = servers
-            .iter()
-            .flat_map(|&n| self.server(n).iter().copied())
-            .collect();
-        out.sort_by_key(|s| (s.arrival, s.departure));
-        out
-    }
-
-    /// Total spans across all servers.
-    pub fn len(&self) -> usize {
-        self.by_server.values().map(Vec::len).sum()
-    }
-
-    /// `true` if no spans were extracted.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{NodeKind, NodeMeta};
+    use crate::record::{MsgRecord, NodeKind, NodeMeta};
 
     fn node(id: u16, name: &str, kind: NodeKind) -> NodeMeta {
         NodeMeta {

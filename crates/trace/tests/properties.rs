@@ -304,6 +304,42 @@ proptest! {
         prop_assert!(read_capture(&buf[..cut]).is_err());
     }
 
+    /// The dense span extractor ([`SpanSet::extract`]) produces output
+    /// identical to the `HashMap`-keyed reference on adversarial record
+    /// soup: arbitrary interleavings, unknown node ids, colliding
+    /// connections, and truncation at both ends.
+    #[test]
+    fn extract_fast_matches_reference(
+        soup in prop::collection::vec(
+            (0u64..6, 0u16..36, prop::bool::ANY, 0u32..6, 0u16..3),
+            1..120,
+        ),
+    ) {
+        let mut log = TraceLog::new(nodes());
+        let mut t = 0u64;
+        for &(dt, srcdst, is_resp, conn, class) in &soup {
+            t += dt;
+            log.push(MsgRecord {
+                at: SimTime::from_micros(t),
+                src: NodeId(srcdst % 6),
+                dst: NodeId(srcdst / 6),
+                kind: if is_resp { MsgKind::Response } else { MsgKind::Request },
+                conn: ConnId(conn),
+                class: ClassId(class),
+                bytes: 10,
+                truth: if is_resp { None } else { Some(TxnId(t)) },
+            });
+        }
+        let fast = SpanSet::extract(&log);
+        let spec = fgbd_trace::span::reference::extract(&log);
+        prop_assert_eq!(fast.servers(), spec.servers());
+        for s in fast.servers() {
+            prop_assert_eq!(fast.server(s), spec.server(s));
+        }
+        prop_assert_eq!(&fast.unmatched, &spec.unmatched);
+        prop_assert_eq!(fast.len(), spec.len());
+    }
+
     /// Slicing by time then extracting spans equals extracting then
     /// filtering by span arrival (for spans fully inside the slice).
     #[test]

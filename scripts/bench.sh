@@ -2,8 +2,9 @@
 # Runs the analysis benchmarks and condenses Criterion's estimates into a
 # single BENCH_analysis.json at the repo root: { "<bench id>": median_ns }.
 # Covers every group in benches/analysis.rs, including the `reconstruction`
-# (dense fast path vs reference) and `pipeline` (end-to-end simulate →
-# reconstruct → calibrate → detect) groups.
+# and `extract_spans` (dense fast paths vs references) and `pipeline`
+# (end-to-end simulate → reconstruct → calibrate → detect) groups, plus
+# the `event_queue` hold-model bench (timing wheel vs reference heap).
 #
 # If any run manifests exist under out/manifests/ (written by the
 # fgbd-repro binaries, see crates/obsv), the newest one's per-stage wall
@@ -17,6 +18,7 @@ cd "$(dirname "$0")/.."
 
 if [ "$1" != "--no-run" ]; then
     cargo bench -p fgbd-bench --bench analysis
+    cargo bench -p fgbd-bench --bench event_queue
 fi
 
 python3 - <<'EOF'
