@@ -1,0 +1,103 @@
+//! Criterion benchmarks of the streaming span pipeline: batch
+//! `SpanSet::extract` over a fully materialized log vs the sharded online
+//! extractor fed chunk-by-chunk through the bounded channel
+//! (`stream::extract_streamed`). The streamed numbers include the full
+//! channel round-trip — chunking, the router scatter, worker join, and the
+//! canonical-order merge — so the delta over batch is the pipeline's true
+//! overhead (or win, once the producer side overlaps with a real DES run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fgbd_des::{Dice, SimTime};
+use fgbd_trace::stream::{self, StreamConfig};
+use fgbd_trace::{
+    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, SpanSet, TraceLog, TxnId,
+};
+
+const CLIENT: NodeId = NodeId(0);
+
+/// A time-ordered request/response soup across three server tiers with up
+/// to 96 transactions in flight, each on its own connection — enough
+/// concurrency that the per-shard FIFO maps stay warm and the merge has
+/// real interleaving to undo.
+fn synthetic_log(txns: u64, seed: u64) -> TraceLog {
+    let mut nodes = vec![NodeMeta {
+        id: CLIENT,
+        name: "clients".into(),
+        kind: NodeKind::Client,
+        tier: None,
+    }];
+    for (i, name) in ["web-1", "app-1", "db-1"].iter().enumerate() {
+        nodes.push(NodeMeta {
+            id: NodeId(i as u16 + 1),
+            name: (*name).into(),
+            kind: NodeKind::Server,
+            tier: Some(i as u8),
+        });
+    }
+    let mut dice = Dice::seed(seed);
+    let mut log = TraceLog::new(nodes);
+    // Open transactions: (txn id — also the conn id — and the server
+    // handling it).
+    let mut active: Vec<(u64, NodeId)> = Vec::new();
+    let mut next = 0u64;
+    let mut t = 0u64;
+    while next < txns || !active.is_empty() {
+        t += 1 + dice.index(3) as u64;
+        let at = SimTime::from_micros(t);
+        if next < txns && active.len() < 96 && (active.is_empty() || dice.chance(0.5)) {
+            let server = NodeId(1 + dice.index(3) as u16);
+            log.push(MsgRecord {
+                at,
+                src: CLIENT,
+                dst: server,
+                kind: MsgKind::Request,
+                conn: ConnId(next as u32),
+                class: ClassId((next % 16) as u16),
+                bytes: 200,
+                truth: Some(TxnId(next)),
+            });
+            active.push((next, server));
+            next += 1;
+        } else {
+            let i = dice.index(active.len());
+            let (id, server) = active.swap_remove(i);
+            log.push(MsgRecord {
+                at,
+                src: server,
+                dst: CLIENT,
+                kind: MsgKind::Response,
+                conn: ConnId(id as u32),
+                class: ClassId((id % 16) as u16),
+                bytes: 600,
+                truth: Some(TxnId(id)),
+            });
+        }
+    }
+    log
+}
+
+/// Batch extraction vs the streamed pipeline at shard counts 1, 2, 4 —
+/// the `stream_extract` manifest stage in miniature. `scripts/bench.sh`
+/// folds this group into `BENCH_analysis.json` as `streaming_pipeline/*`.
+fn bench_streaming_pipeline(c: &mut Criterion) {
+    let log = synthetic_log(100_000, 29);
+    let mut group = c.benchmark_group("streaming_pipeline");
+    group.throughput(criterion::Throughput::Elements(log.records.len() as u64));
+    group.bench_function("batch_extract", |b| {
+        b.iter(|| SpanSet::extract(black_box(&log)));
+    });
+    for shards in [1usize, 2, 4] {
+        let cfg =
+            StreamConfig::from_values(shards, stream::DEFAULT_CHUNK, stream::DEFAULT_CAPACITY)
+                .expect("non-zero shard count");
+        group.bench_function(format!("streamed_shards_{shards}"), |b| {
+            b.iter(|| stream::extract_streamed(black_box(&log), &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_pipeline);
+criterion_main!(benches);

@@ -37,6 +37,7 @@ pub mod ps;
 pub mod queue;
 pub mod rng;
 pub mod sim;
+pub mod sync;
 pub mod time;
 
 pub use ps::{JobId, PsIntegrator};

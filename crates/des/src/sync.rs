@@ -1,0 +1,342 @@
+//! A bounded single-producer / single-consumer channel — the streaming
+//! trace conduit between the simulator thread and the online analysis
+//! front-end (see `fgbd-trace`'s `stream` module).
+//!
+//! The design is the classic Lamport ring: a fixed-capacity slot array
+//! indexed by two monotonically increasing positions. The producer owns
+//! `tail`, the consumer owns `head`; each publishes its own index with a
+//! `Release` store and reads the other side's with an `Acquire` load, so
+//! a slot's payload is always visible before the index that announces it.
+//! No locks, no allocation per operation, and — because each side caches
+//! the opposing index — the fast path is one atomic store per op.
+//!
+//! Backpressure is explicit: [`Sender::send`] blocks (spin → yield →
+//! short sleep) when the ring is full and reports how many sends had to
+//! wait via [`Sender::stalls`], which the streaming pipeline surfaces as
+//! the `trace.stream_stalls` counter. Dropping either endpoint closes the
+//! channel: a blocked producer errors out instead of deadlocking when the
+//! consumer died, and the consumer drains the remaining items and then
+//! sees end-of-stream.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of busy-spin probes before yielding the CPU, and number of
+/// yields before falling back to a short sleep. The sleep matters on
+/// single-core hosts: a producer that only ever spins/yields against a
+/// consumer blocked elsewhere would burn its whole timeslice.
+const SPINS_BEFORE_YIELD: u32 = 64;
+const YIELDS_BEFORE_SLEEP: u32 = 64;
+const BLOCKED_SLEEP: std::time::Duration = std::time::Duration::from_micros(50);
+
+/// Cache-line padding so the producer- and consumer-owned indices do not
+/// false-share.
+#[repr(align(64))]
+struct Pad<T>(T);
+
+struct Ring<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Consumer position (next slot to pop). Monotonic; slot = `head % cap`.
+    head: Pad<AtomicUsize>,
+    /// Producer position (next slot to fill). Monotonic; slot = `tail % cap`.
+    tail: Pad<AtomicUsize>,
+    /// Set when either endpoint drops.
+    closed: AtomicBool,
+}
+
+// SAFETY: the slot array is only ever accessed by the unique producer
+// (writes at `tail`) and the unique consumer (reads at `head`), and every
+// hand-off is ordered by a Release store / Acquire load of the index that
+// guards the slot. `T: Send` is required because values cross threads.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Both endpoints are gone (`Arc` exclusive), so plain loads suffice.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let cap = self.slots.len();
+        let mut i = head;
+        while i != tail {
+            // SAFETY: slots in [head, tail) hold initialized values that
+            // were published but never consumed.
+            unsafe { (*self.slots[i % cap].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+/// The producing endpoint of an SPSC channel; see [`channel`].
+pub struct Sender<T> {
+    ring: Arc<Ring<T>>,
+    /// Last observed consumer position — refreshed only when the ring
+    /// looks full, so the uncontended send path does no Acquire load.
+    head_cache: usize,
+    stalls: u64,
+}
+
+/// The consuming endpoint of an SPSC channel; see [`channel`].
+pub struct Receiver<T> {
+    ring: Arc<Ring<T>>,
+    /// Last observed producer position — refreshed only when the ring
+    /// looks empty.
+    tail_cache: usize,
+}
+
+/// Error returned by [`Sender::send`] when the receiver was dropped; the
+/// unsent value is handed back.
+#[derive(Debug)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a closed spsc channel")
+    }
+}
+
+/// Creates a bounded SPSC channel holding at most `capacity` in-flight
+/// values.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn channel<T: Send>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "spsc channel capacity must be positive");
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let ring = Arc::new(Ring {
+        slots,
+        head: Pad(AtomicUsize::new(0)),
+        tail: Pad(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+    });
+    (
+        Sender {
+            ring: Arc::clone(&ring),
+            head_cache: 0,
+            stalls: 0,
+        },
+        Receiver {
+            ring,
+            tail_cache: 0,
+        },
+    )
+}
+
+/// One step of the spin → yield → sleep backoff ladder.
+fn backoff(round: u32) {
+    if round < SPINS_BEFORE_YIELD {
+        std::hint::spin_loop();
+    } else if round < SPINS_BEFORE_YIELD + YIELDS_BEFORE_SLEEP {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(BLOCKED_SLEEP);
+    }
+}
+
+impl<T> Sender<T> {
+    /// Attempts to enqueue without blocking; hands `v` back when the ring
+    /// is full (callers that must not block — e.g. best-effort buffer
+    /// recycling — use this and treat `Err` as "drop it").
+    pub fn try_send(&mut self, v: T) -> Result<(), T> {
+        let cap = self.ring.slots.len();
+        let tail = self.ring.tail.0.load(Ordering::Relaxed);
+        if tail.wrapping_sub(self.head_cache) == cap {
+            self.head_cache = self.ring.head.0.load(Ordering::Acquire);
+            if tail.wrapping_sub(self.head_cache) == cap {
+                return Err(v);
+            }
+        }
+        // SAFETY: the slot at `tail` is free — the consumer is at or past
+        // `tail - cap` — and only this (unique) producer writes slots.
+        unsafe { (*self.ring.slots[tail % cap].get()).write(v) };
+        self.ring
+            .tail
+            .0
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueues `v`, blocking while the ring is full. A send that had to
+    /// wait at least once increments [`Sender::stalls`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] (with the value) if the receiver was dropped,
+    /// so a dead consumer surfaces as an error instead of a deadlock.
+    pub fn send(&mut self, v: T) -> Result<(), SendError<T>> {
+        let mut v = v;
+        let mut round = 0u32;
+        loop {
+            match self.try_send(v) {
+                Ok(()) => return Ok(()),
+                Err(back) => v = back,
+            }
+            if self.ring.closed.load(Ordering::Acquire) {
+                return Err(SendError(v));
+            }
+            if round == 0 {
+                self.stalls += 1;
+            }
+            backoff(round);
+            round = round.saturating_add(1);
+        }
+    }
+
+    /// Number of [`Sender::send`] calls that found the ring full and had
+    /// to wait — the producer-side backpressure count.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Attempts to dequeue without blocking; `None` when the ring is
+    /// currently empty (which does not imply the channel is closed).
+    pub fn try_recv(&mut self) -> Option<T> {
+        let cap = self.ring.slots.len();
+        let head = self.ring.head.0.load(Ordering::Relaxed);
+        if head == self.tail_cache {
+            self.tail_cache = self.ring.tail.0.load(Ordering::Acquire);
+            if head == self.tail_cache {
+                return None;
+            }
+        }
+        // SAFETY: `head < tail`, so the slot holds a value the producer
+        // published (ordered by the Acquire load of `tail` that advanced
+        // `tail_cache` past it), and only this consumer reads slots.
+        let v = unsafe { (*self.ring.slots[head % cap].get()).assume_init_read() };
+        self.ring
+            .head
+            .0
+            .store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+
+    /// Dequeues the next value, blocking while the ring is empty. Returns
+    /// `None` only when the channel is closed **and** fully drained.
+    pub fn recv(&mut self) -> Option<T> {
+        let mut round = 0u32;
+        loop {
+            if let Some(v) = self.try_recv() {
+                return Some(v);
+            }
+            if self.ring.closed.load(Ordering::Acquire) {
+                // The Acquire on `closed` orders this after the producer's
+                // final publish, so one more poll sees everything.
+                return self.try_recv();
+            }
+            backoff(round);
+            round = round.saturating_add(1);
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.ring.closed.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.try_recv(), Some(i));
+        }
+        assert!(rx.try_recv().is_none());
+        assert_eq!(tx.stalls(), 0);
+    }
+
+    #[test]
+    fn full_ring_stalls_then_recovers() {
+        let (mut tx, mut rx) = channel::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+            tx.stalls()
+        });
+        // Give the producer a moment to hit the full ring.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(t.join().unwrap(), 1, "blocked send counts one stall");
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+    }
+
+    #[test]
+    fn dropping_receiver_fails_the_sender() {
+        let (mut tx, rx) = channel::<u32>(1);
+        tx.send(7).unwrap();
+        drop(rx);
+        let err = tx.send(8).unwrap_err();
+        assert_eq!(err.0, 8);
+        assert!(err.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn dropping_sender_drains_then_ends() {
+        let (mut tx, mut rx) = channel::<u32>(8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn unconsumed_values_are_dropped_with_the_ring() {
+        let payload = Arc::new(());
+        let (mut tx, rx) = channel::<Arc<()>>(4);
+        tx.send(Arc::clone(&payload)).unwrap();
+        tx.send(Arc::clone(&payload)).unwrap();
+        assert_eq!(Arc::strong_count(&payload), 3);
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&payload), 1, "ring drop frees slots");
+    }
+
+    /// Cross-thread stress: every value arrives exactly once, in order,
+    /// through a ring much smaller than the stream.
+    #[test]
+    fn cross_thread_order_and_completeness() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = channel::<u64>(8);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                tx.send(i).unwrap();
+            }
+            tx.stalls()
+        });
+        let mut expect = 0u64;
+        let mut sum = 0u64;
+        while let Some(v) = rx.recv() {
+            assert_eq!(v, expect, "out-of-order delivery");
+            expect += 1;
+            sum = sum.wrapping_add(v);
+        }
+        assert_eq!(expect, N);
+        assert_eq!(sum, N * (N - 1) / 2);
+        let _stalls = producer.join().unwrap();
+    }
+}

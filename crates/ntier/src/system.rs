@@ -18,11 +18,12 @@
 //!   destination, responses on departure from the source, so span residence
 //!   equals true server residence.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use fgbd_des::hash::FxHashMap;
 use fgbd_des::{Actor, Dice, JobId, PsIntegrator, Scheduler, SimDuration, SimTime, Simulation};
 use fgbd_trace::{
-    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, TraceLog, TxnId,
+    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, StreamSink, TraceLog, TxnId,
 };
 
 use crate::class::RequestClass;
@@ -186,7 +187,7 @@ struct Server {
     ps: PsIntegrator,
     threads_busy: usize,
     pending: VecDeque<u64>,
-    visits: HashMap<u64, Visit>,
+    visits: FxHashMap<u64, Visit>,
     cpu_gen: u64,
     gc: Option<GcState>,
     gc_stw_end: SimTime,
@@ -297,14 +298,18 @@ pub struct NTierSystem {
     cfg: SystemConfig,
     servers: Vec<Server>,
     tiers: Vec<Vec<usize>>,
-    node_to_server: HashMap<NodeId, usize>,
+    node_to_server: FxHashMap<NodeId, usize>,
     users: Vec<UserState>,
     conn_pools: Vec<ConnPool>,
-    link_index: HashMap<(usize, usize), usize>,
+    link_index: FxHashMap<(usize, usize), usize>,
     burst_factor: f64,
     next_txn: u64,
     next_visit: u64,
     log: TraceLog,
+    /// When set, capture records stream through this sink instead of
+    /// accumulating in `log` (see [`NTierSystem::run_with_tap`]); the
+    /// returned [`RunResult::log`] then stays empty.
+    tap: Option<StreamSink>,
     txns: Vec<TxnSample>,
     gc_events: Vec<GcEvent>,
     pstate_log: Vec<PStateSample>,
@@ -339,7 +344,7 @@ impl NTierSystem {
             kind: NodeKind::Client,
             tier: None,
         }];
-        let mut node_to_server = HashMap::new();
+        let mut node_to_server = FxHashMap::default();
         for tier_specs in &cfg.topology {
             let mut tier_idx = Vec::new();
             for spec in tier_specs {
@@ -369,7 +374,7 @@ impl NTierSystem {
                     ),
                     threads_busy: 0,
                     pending: VecDeque::new(),
-                    visits: HashMap::new(),
+                    visits: FxHashMap::default(),
                     cpu_gen: 0,
                     gc: spec.gc.map(GcState::new),
                     gc_stw_end: SimTime::ZERO,
@@ -390,7 +395,7 @@ impl NTierSystem {
         // Connection pools for every directed (server, next-tier server)
         // pair.
         let mut conn_pools = Vec::new();
-        let mut link_index = HashMap::new();
+        let mut link_index = FxHashMap::default();
         for t in 0..tiers.len().saturating_sub(1) {
             for &s in &tiers[t] {
                 for &d in &tiers[t + 1] {
@@ -426,6 +431,7 @@ impl NTierSystem {
             next_txn: 0,
             next_visit: 0,
             log: TraceLog::new(nodes),
+            tap: None,
             txns: Vec::new(),
             gc_events: Vec::new(),
             pstate_log: Vec::new(),
@@ -448,8 +454,26 @@ impl NTierSystem {
         sim.into_actor().into_result(horizon)
     }
 
+    /// Like [`NTierSystem::run`], but capture records are streamed through
+    /// `sink` as they happen instead of being materialized in
+    /// [`RunResult::log`] (which comes back empty). The sink is dropped —
+    /// ending the stream — before this returns, so the caller can join
+    /// the consuming `fgbd_trace::SpanStream` immediately afterwards.
+    pub fn run_with_tap(cfg: SystemConfig, sink: StreamSink) -> RunResult {
+        let horizon = SimTime::ZERO + cfg.warmup + cfg.duration;
+        let mut system = NTierSystem::new(cfg);
+        system.tap = Some(sink);
+        let mut sim = Simulation::new(system);
+        sim.prime(SimTime::ZERO, Ev::Boot);
+        sim.run_until(horizon);
+        sim.into_actor().into_result(horizon)
+    }
+
     /// Finalizes the run outputs.
-    pub fn into_result(self, horizon: SimTime) -> RunResult {
+    pub fn into_result(mut self, horizon: SimTime) -> RunResult {
+        // End the record stream first: the tap's drop flushes its last
+        // partial chunk and closes the channel.
+        self.tap = None;
         RunResult {
             servers: self
                 .servers
@@ -615,7 +639,7 @@ impl NTierSystem {
             self.servers[d].rx_bytes += u64::from(bytes);
         }
         if self.cfg.capture {
-            self.log.push(MsgRecord {
+            let rec = MsgRecord {
                 at,
                 src,
                 dst,
@@ -624,7 +648,11 @@ impl NTierSystem {
                 class: ClassId(class),
                 bytes,
                 truth: Some(TxnId(txn)),
-            });
+            };
+            match &mut self.tap {
+                Some(tap) => tap.push(rec),
+                None => self.log.push(rec),
+            }
         }
     }
 

@@ -7,7 +7,7 @@
 //! All updates are single relaxed atomic RMWs; totals are exact under
 //! arbitrary thread interleavings because addition commutes.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
@@ -118,6 +118,22 @@ pub fn counter_labeled(name: &'static str, label: &'static str) -> &'static Coun
         .or_insert_with(|| Box::leak(Box::new(Counter::new())))
 }
 
+fn retained() -> &'static Mutex<BTreeSet<&'static str>> {
+    static R: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Like [`counter`], but the counter is *retained* in snapshot deltas:
+/// [`MetricsSnapshot::delta`] normally drops untouched instruments, which
+/// makes "this never happened" indistinguishable from "this was never
+/// measured". Retained counters always appear in deltas once registered,
+/// explicitly reporting zero — the right contract for health metrics like
+/// backpressure stall counts, where 0 is the finding.
+pub fn counter_retained(name: &'static str) -> &'static Counter {
+    lock(retained()).insert(name);
+    counter(name)
+}
+
 /// The histogram named `name`, registering it on first use.
 pub fn histogram(name: &'static str) -> &'static Histogram {
     lock(histograms())
@@ -189,12 +205,13 @@ impl MetricsSnapshot {
     /// The activity since `earlier` — per-run views over the
     /// process-cumulative registry. Untouched instruments are dropped.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let keep_zero = lock(retained());
         let counters = self
             .counters
             .iter()
             .filter_map(|(k, &v)| {
                 let d = v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0));
-                (d > 0).then(|| (k.clone(), d))
+                (d > 0 || keep_zero.contains(k.as_str())).then(|| (k.clone(), d))
             })
             .collect();
         let histograms = self
@@ -274,6 +291,22 @@ mod tests {
         assert_eq!(by_floor[&4], 2); // values 4, 7
         assert_eq!(by_floor[&8], 1); // value 8
         assert_eq!(by_floor[&(1 << 20)], 1);
+    }
+
+    #[test]
+    fn retained_counter_reports_zero_delta() {
+        let c = counter_retained("t_metrics_retained");
+        c.add(4);
+        let before = snapshot();
+        // No activity since `before` — a normal counter would be dropped
+        // from the delta, but a retained one must report an explicit zero.
+        let d = snapshot().delta(&before);
+        assert_eq!(d.counters.get("t_metrics_retained"), Some(&0));
+        c.add(2);
+        let d2 = snapshot().delta(&before);
+        assert_eq!(d2.counters.get("t_metrics_retained"), Some(&2));
+        // Identity with the plain registration path.
+        assert!(std::ptr::eq(c, counter("t_metrics_retained")));
     }
 
     #[test]

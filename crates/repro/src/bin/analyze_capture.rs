@@ -18,7 +18,7 @@ use fgbd_core::series::Window;
 use fgbd_des::{SimDuration, SimTime};
 use fgbd_obsv::json::Json;
 use fgbd_repro::pipeline::{Calibration, WORK_UNIT_RESOLUTION};
-use fgbd_trace::{read_capture, NodeKind, SpanSet};
+use fgbd_trace::{read_capture, read_capture_tapped, NodeKind, SpanSet, SpanStream, StreamConfig};
 
 fn main() {
     let args = fgbd_repro::harness::parse_std_flags();
@@ -37,7 +37,27 @@ fn main() {
     let _root = fgbd_obsv::span::enter("analyze_capture");
 
     let file = File::open(path).expect("open capture file");
-    let log = read_capture(BufReader::new(file)).expect("parse capture");
+    // Streaming front-end: overlap file decode with online span
+    // extraction. The batch fallback (FGBD_STREAM=0) decodes first and
+    // extracts afterwards — bit-identical spans either way.
+    let (log, spans) = match StreamConfig::from_env() {
+        Some(stream_cfg) => {
+            let (stream, mut sink) = SpanStream::start(&stream_cfg);
+            let log = read_capture_tapped(BufReader::new(file), |rec| sink.push(rec))
+                .expect("parse capture");
+            drop(sink);
+            let spans = {
+                fgbd_obsv::span!("stream_extract");
+                stream.finish()
+            };
+            (log, spans)
+        }
+        None => {
+            let log = read_capture(BufReader::new(file)).expect("parse capture");
+            let spans = SpanSet::extract(&log);
+            (log, spans)
+        }
+    };
     fgbd_obsv::log!(
         "analyze_capture",
         "capture: {} nodes, {} messages",
@@ -54,7 +74,8 @@ fn main() {
 
     // Service-time calibration from the capture itself: reconstruct and
     // approximate with a low quantile (the offline stand-in for a dedicated
-    // low-load calibration run).
+    // low-load calibration run). The log moves into the run view (no
+    // clone) and the already-extracted spans are reused.
     let run_like = fgbd_ntier::result::RunResult {
         servers: log
             .nodes
@@ -68,7 +89,7 @@ fn main() {
                 max_threads: 0,
             })
             .collect(),
-        log: log.clone(),
+        log,
         txns: Vec::new(),
         gc_events: Vec::new(),
         pstate_log: Vec::new(),
@@ -79,9 +100,9 @@ fn main() {
         warmup_end: start,
         horizon: end,
     };
-    let cal = Calibration::from_run(&run_like);
+    let cal = Calibration::from_run_with_spans(&run_like, &spans);
+    let log = &run_like.log;
 
-    let spans = SpanSet::extract(&log);
     let window = Window::new(start, end, SimDuration::from_millis(interval_ms.max(1)));
     let cfg = DetectorConfig::default();
 

@@ -7,6 +7,12 @@
 //! cargo run -p fgbd-repro --release --bin check_manifest -- out/manifests/fig06.json
 //! ```
 //!
+//! Repeatable `--require-counter NAME` flags additionally assert that the
+//! manifest's counter snapshot contains `NAME` — CI uses this to pin the
+//! streaming pipeline's observability contract (`trace.stream_chunks`
+//! must be present, and `trace.stream_stalls` must be *reported* even
+//! when zero, which is what the retained-counter mechanism guarantees).
+//!
 //! Exits 0 and prints a one-line summary when the manifest is valid;
 //! exits non-zero with the violation otherwise. This is the one
 //! `fgbd-repro` binary that does not write a manifest of its own: it is
@@ -15,11 +21,31 @@
 use fgbd_obsv::json::Json;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(path) = args.get(1) else {
-        eprintln!("usage: check_manifest <manifest.json>");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--require-counter" {
+            match it.next() {
+                Some(name) => required.push(name),
+                None => {
+                    eprintln!("check_manifest: --require-counter needs a counter name");
+                    std::process::exit(2);
+                }
+            }
+        } else if path.is_none() {
+            path = Some(arg);
+        } else {
+            eprintln!("check_manifest: unexpected argument {arg}");
+            std::process::exit(2);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: check_manifest <manifest.json> [--require-counter NAME]...");
         std::process::exit(2);
     };
+    let path = &path;
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -37,6 +63,13 @@ fn main() {
     if let Err(e) = fgbd_obsv::manifest::validate(&doc) {
         eprintln!("check_manifest: {path}: {e}");
         std::process::exit(1);
+    }
+    for name in &required {
+        let present = doc.get("counters").is_some_and(|c| c.get(name).is_some());
+        if !present {
+            eprintln!("check_manifest: {path}: required counter {name} missing from manifest");
+            std::process::exit(1);
+        }
     }
     let stages = doc
         .get("stages")

@@ -37,11 +37,23 @@ impl Calibration {
     /// [`Scenario::calibration_run`]).
     pub fn from_run(run: &RunResult) -> Calibration {
         fgbd_obsv::span!("calibrate");
+        let spans = SpanSet::extract(&run.log);
+        Calibration::build(run, &spans)
+    }
+
+    /// Like [`Calibration::from_run`] but with spans the caller already
+    /// extracted (e.g. by the streaming front-end while the capture was
+    /// being decoded), so they are not extracted a second time.
+    pub fn from_run_with_spans(run: &RunResult, spans: &SpanSet) -> Calibration {
+        fgbd_obsv::span!("calibrate");
+        Calibration::build(run, spans)
+    }
+
+    fn build(run: &RunResult, spans: &SpanSet) -> Calibration {
         let rec = Reconstruction::run(&run.log, Heuristic::ProfileGuided);
         let services = ServiceTimeTable::approximate(&rec, SERVICE_QUANTILE);
         let mut work_units = HashMap::new();
         let mut mean_service = HashMap::new();
-        let spans = SpanSet::extract(&run.log);
         for info in &run.servers {
             let node = info.node;
             if let Some(wu) = services.work_unit(node, WORK_UNIT_RESOLUTION) {
@@ -105,6 +117,15 @@ impl Analysis {
     /// Wraps a captured run with a calibration.
     pub fn new(run: RunResult, cal: Calibration) -> Analysis {
         let spans = SpanSet::extract(&run.log);
+        Analysis { run, spans, cal }
+    }
+
+    /// Wraps a run whose spans were already extracted online by the
+    /// streaming front-end ([`Scenario::run_streamed`]), so the run's log
+    /// may legitimately be empty.
+    ///
+    /// [`Scenario::run_streamed`]: crate::scenario::Scenario::run_streamed
+    pub fn with_spans(run: RunResult, spans: SpanSet, cal: Calibration) -> Analysis {
         Analysis { run, spans, cal }
     }
 

@@ -4,6 +4,7 @@ use fgbd_des::SimDuration;
 use fgbd_ntier::config::{Jdk, SystemConfig};
 use fgbd_ntier::result::RunResult;
 use fgbd_ntier::system::NTierSystem;
+use fgbd_trace::{SpanSet, SpanStream, StreamConfig};
 
 /// The master seed shared by all experiments (figures are deterministic).
 pub const MASTER_SEED: u64 = 20130708;
@@ -61,6 +62,41 @@ impl Scenario {
         fgbd_obsv::span!("simulate");
         fgbd_obsv::counter!("scenario.runs", self.name, 1);
         NTierSystem::run(self.config(users))
+    }
+
+    /// Runs the scenario with the capture streamed straight into the
+    /// online span extractor (`fgbd_trace::stream`): the DES publishes
+    /// record chunks through a bounded channel while consumer threads
+    /// pair spans concurrently, so span extraction overlaps the
+    /// simulation instead of running after it. The residual merge wait is
+    /// visible as the `stream_extract` manifest stage.
+    ///
+    /// Falls back to the batch path — materialize the log, then
+    /// [`SpanSet::extract`] — when streaming is switched off
+    /// (`FGBD_STREAM=0` or `FGBD_STREAM_SHARDS=0`). The spans are
+    /// bit-identical either way; in streamed mode the returned run's
+    /// `log` comes back empty (the records were consumed online).
+    pub fn run_streamed(&self, users: u32) -> (RunResult, SpanSet) {
+        match StreamConfig::from_env() {
+            Some(cfg) => {
+                let (stream, sink) = SpanStream::start(&cfg);
+                let run = {
+                    fgbd_obsv::span!("simulate");
+                    fgbd_obsv::counter!("scenario.runs", self.name, 1);
+                    NTierSystem::run_with_tap(self.config(users), sink)
+                };
+                let spans = {
+                    fgbd_obsv::span!("stream_extract");
+                    stream.finish()
+                };
+                (run, spans)
+            }
+            None => {
+                let run = self.run(users);
+                let spans = SpanSet::extract(&run.log);
+                (run, spans)
+            }
+        }
     }
 
     /// Runs without message capture — cheaper, for experiments that only

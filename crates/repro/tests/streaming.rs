@@ -1,0 +1,137 @@
+//! Streamed-vs-batch equivalence on a *real* DES run: the tap-fed online
+//! extractor must produce exactly the spans the batch path produces from
+//! the materialized log, for every shard count, and the batch fallback
+//! must engage on the documented switches. This is the integration half of
+//! the determinism contract (`crates/trace/tests/properties.rs` covers the
+//! adversarial record-soup half).
+
+use fgbd_des::SimDuration;
+use fgbd_ntier::system::NTierSystem;
+use fgbd_repro::scenario::SPEEDSTEP_OFF;
+use fgbd_trace::{SpanSet, SpanStream, StreamConfig};
+
+fn assert_same_spans(streamed: &SpanSet, batch: &SpanSet) {
+    assert_eq!(streamed.servers(), batch.servers());
+    for node in batch.servers() {
+        assert_eq!(streamed.server(node), batch.server(node));
+    }
+    assert_eq!(streamed.unmatched, batch.unmatched);
+    assert_eq!(streamed.len(), batch.len());
+}
+
+/// A short SpeedStep-off run (4 s warmup + 16 s measured at 300 users) is
+/// enough traffic to exercise every tier while keeping the test quick.
+fn short_config() -> fgbd_ntier::config::SystemConfig {
+    let mut cfg = SPEEDSTEP_OFF.config(300);
+    cfg.warmup = SimDuration::from_secs(4);
+    cfg.duration = SimDuration::from_secs(16);
+    cfg
+}
+
+#[test]
+fn streamed_run_matches_batch_across_shard_counts() {
+    let cfg = short_config();
+    let batch = NTierSystem::run(cfg.clone());
+    let batch_spans = SpanSet::extract(&batch.log);
+    assert!(!batch_spans.is_empty(), "short run must produce spans");
+
+    for shards in [1usize, 2, 8] {
+        let scfg = StreamConfig::from_values(shards, 4096, 4).expect("shards > 0");
+        let (stream, sink) = SpanStream::start(&scfg);
+        let run = NTierSystem::run_with_tap(cfg.clone(), sink);
+        let spans = stream.finish();
+
+        // The records were consumed online — the streamed run never
+        // materializes the capture.
+        assert!(
+            run.log.records.is_empty(),
+            "streamed run must not materialize the log (shards={shards})"
+        );
+        // Simulation outcomes are untouched by the tap: the DES is the
+        // producer, not a participant.
+        assert_eq!(run.throughput(), batch.throughput());
+        assert_eq!(run.completed_visits, batch.completed_visits);
+        assert_eq!(run.retransmissions, batch.retransmissions);
+        assert_eq!(run.net_bytes, batch.net_bytes);
+        assert_same_spans(&spans, &batch_spans);
+    }
+}
+
+/// Environment gating, all in one test so the env mutations cannot race
+/// across the parallel test harness: `FGBD_STREAM=0` and
+/// `FGBD_STREAM_SHARDS=0` both select the batch path (`from_env` → None),
+/// explicit values are honored and clamped.
+#[test]
+fn env_switches_select_the_batch_path() {
+    // Isolated worker: env vars are process-global, so this test owns them
+    // for its whole body and restores afterwards.
+    let restore = |k: &str, v: Option<String>| match v {
+        Some(v) => std::env::set_var(k, v),
+        None => std::env::remove_var(k),
+    };
+    let saved: Vec<(&str, Option<String>)> = [
+        "FGBD_STREAM",
+        "FGBD_STREAM_SHARDS",
+        "FGBD_STREAM_CHUNK",
+        "FGBD_STREAM_CAPACITY",
+    ]
+    .into_iter()
+    .map(|k| (k, std::env::var(k).ok()))
+    .collect();
+
+    for off in ["0", "false", "off"] {
+        std::env::set_var("FGBD_STREAM", off);
+        assert!(
+            StreamConfig::from_env().is_none(),
+            "FGBD_STREAM={off} must select the batch path"
+        );
+    }
+    std::env::remove_var("FGBD_STREAM");
+
+    std::env::set_var("FGBD_STREAM_SHARDS", "0");
+    assert!(
+        StreamConfig::from_env().is_none(),
+        "FGBD_STREAM_SHARDS=0 must select the batch path"
+    );
+
+    std::env::set_var("FGBD_STREAM_SHARDS", "3");
+    std::env::set_var("FGBD_STREAM_CHUNK", "512");
+    std::env::set_var("FGBD_STREAM_CAPACITY", "2");
+    let cfg = StreamConfig::from_env().expect("explicit shards stream");
+    assert_eq!(cfg.shards, 3);
+    assert_eq!(cfg.chunk, 512);
+    assert_eq!(cfg.capacity, 2);
+
+    // Shard counts clamp to the supported maximum instead of erroring.
+    std::env::set_var("FGBD_STREAM_SHARDS", "64");
+    assert_eq!(StreamConfig::from_env().expect("clamped").shards, 8);
+
+    for (k, v) in saved {
+        restore(k, v);
+    }
+
+    // With the env restored (no overrides in the test harness), the
+    // default is streaming-on with at least one shard.
+    if std::env::var_os("FGBD_STREAM").is_none() && std::env::var_os("FGBD_STREAM_SHARDS").is_none()
+    {
+        let cfg = StreamConfig::from_env().expect("streaming is the default");
+        assert!((1..=8).contains(&cfg.shards));
+    }
+}
+
+/// The batch fallback and the streamed path agree even when driven through
+/// `run_streamed` itself: with `FGBD_STREAM_SHARDS=1` the single-shard
+/// pipeline reproduces the batch spans byte-for-byte on a real run.
+#[test]
+fn single_shard_pipeline_equals_batch_on_real_run() {
+    let cfg = short_config();
+    let batch = NTierSystem::run(cfg.clone());
+    let batch_spans = SpanSet::extract(&batch.log);
+
+    let scfg = StreamConfig::from_values(1, 1024, 1).expect("one shard");
+    let (stream, sink) = SpanStream::start(&scfg);
+    let run = NTierSystem::run_with_tap(cfg, sink);
+    let spans = stream.finish();
+    assert!(run.log.records.is_empty());
+    assert_same_spans(&spans, &batch_spans);
+}

@@ -120,7 +120,28 @@ pub fn write_capture<W: Write>(mut w: W, log: &TraceLog) -> Result<(), CaptureEr
 ///
 /// Returns [`CaptureError::BadMagic`] for foreign inputs and
 /// [`CaptureError::Malformed`] for truncated or invalid ones.
-pub fn read_capture<R: Read>(mut r: R) -> Result<TraceLog, CaptureError> {
+pub fn read_capture<R: Read>(r: R) -> Result<TraceLog, CaptureError> {
+    read_capture_tapped(r, |_| {})
+}
+
+/// Reads a capture stream while forwarding every decoded record to `tap`,
+/// in order, as soon as it is decoded — the hook the streaming front-end
+/// (`crate::stream`) uses to overlap file decode with span extraction.
+/// The fully materialized [`TraceLog`] is still returned for the
+/// downstream consumers that need random access (reconstruction,
+/// slicing).
+///
+/// On error the tap has already seen a prefix of the records; callers
+/// abandon the stream (dropping the sink) and propagate the error.
+///
+/// # Errors
+///
+/// Returns [`CaptureError::BadMagic`] for foreign inputs and
+/// [`CaptureError::Malformed`] for truncated or invalid ones.
+pub fn read_capture_tapped<R: Read>(
+    mut r: R,
+    mut tap: impl FnMut(MsgRecord),
+) -> Result<TraceLog, CaptureError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -179,7 +200,7 @@ pub fn read_capture<R: Read>(mut r: R) -> Result<TraceLog, CaptureError> {
             NO_TRUTH => None,
             t => Some(TxnId(t)),
         };
-        log.records.push(MsgRecord {
+        let rec = MsgRecord {
             at,
             src,
             dst,
@@ -188,7 +209,9 @@ pub fn read_capture<R: Read>(mut r: R) -> Result<TraceLog, CaptureError> {
             class,
             bytes,
             truth,
-        });
+        };
+        tap(rec);
+        log.records.push(rec);
     }
     Ok(log)
 }
@@ -328,6 +351,17 @@ mod tests {
         let back = read_capture(buf.as_slice()).expect("read");
         assert_eq!(back.nodes, log.nodes);
         assert_eq!(back.records, log.records);
+    }
+
+    #[test]
+    fn tapped_reader_forwards_every_record_in_order() {
+        let log = demo_log();
+        let mut buf = Vec::new();
+        write_capture(&mut buf, &log).expect("write");
+        let mut seen = Vec::new();
+        let back = read_capture_tapped(buf.as_slice(), |r| seen.push(r)).expect("read");
+        assert_eq!(seen, back.records);
+        assert_eq!(seen, log.records);
     }
 
     #[test]

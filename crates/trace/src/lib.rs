@@ -21,6 +21,10 @@
 //!   capture windows (paper §III-B), feeding throughput normalization.
 //! * [`capture`] — a compact binary on-disk format for captures (the
 //!   reproduction's pcap analogue), plus time/node slicing.
+//! * [`stream`] — the streaming front-end: bounded SPSC record channels
+//!   feeding sharded online span extraction that overlaps with the
+//!   producer (simulator or capture decoder), bit-identical to the batch
+//!   extractor.
 //!
 //! # Examples
 //!
@@ -50,9 +54,11 @@ pub mod reconstruct;
 pub mod record;
 pub mod servicetime;
 pub mod span;
+pub mod stream;
 
-pub use capture::{read_capture, write_capture, CaptureError};
+pub use capture::{read_capture, read_capture_tapped, write_capture, CaptureError};
 pub use record::{
     ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, TraceLog, TxnId,
 };
 pub use span::{Span, SpanSet};
+pub use stream::{SpanStream, StreamConfig, StreamSink};

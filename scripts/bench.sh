@@ -4,7 +4,8 @@
 # Covers every group in benches/analysis.rs, including the `reconstruction`
 # and `extract_spans` (dense fast paths vs references) and `pipeline`
 # (end-to-end simulate → reconstruct → calibrate → detect) groups, plus
-# the `event_queue` hold-model bench (timing wheel vs reference heap).
+# the `event_queue` hold-model bench (timing wheel vs reference heap) and
+# the `streaming_pipeline` bench (batch vs sharded online extraction).
 #
 # If any run manifests exist under out/manifests/ (written by the
 # fgbd-repro binaries, see crates/obsv), the newest one's per-stage wall
@@ -19,6 +20,7 @@ cd "$(dirname "$0")/.."
 if [ "$1" != "--no-run" ]; then
     cargo bench -p fgbd-bench --bench analysis
     cargo bench -p fgbd-bench --bench event_queue
+    cargo bench -p fgbd-bench --bench streaming
 fi
 
 python3 - <<'EOF'
