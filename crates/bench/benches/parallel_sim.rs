@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the population-sharded parallel simulator:
+//! sequential reference vs K-pod lockstep fleets at varying worker
+//! counts. The shard count changes the model (K pods of N/K users), so
+//! the honest comparison holds the pod count fixed and scales workers —
+//! `shards4_workers1` vs `shards4_workers4` is the parallel speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fgbd_des::SimDuration;
+use fgbd_ntier::config::{Jdk, SystemConfig};
+use fgbd_ntier::shard::{run_sharded, ShardPlan};
+use fgbd_ntier::system::NTierSystem;
+
+const USERS: u32 = 4_000;
+
+fn bench_cfg() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_1l2s1l2s(USERS, Jdk::Jdk16, false, 42);
+    cfg.warmup = SimDuration::from_secs(2);
+    cfg.duration = SimDuration::from_secs(10);
+    cfg.capture = true;
+    cfg
+}
+
+fn bench_parallel_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_sim");
+    group.sample_size(10);
+
+    group.bench_function("sequential_reference", |b| {
+        b.iter(|| black_box(NTierSystem::run(bench_cfg())));
+    });
+
+    for shards in [2usize, 4] {
+        for workers in [1usize, shards] {
+            let plan = ShardPlan { shards, workers };
+            group.bench_with_input(
+                BenchmarkId::new(format!("shards{shards}"), format!("workers{workers}")),
+                &plan,
+                |b, plan| {
+                    b.iter(|| black_box(run_sharded(bench_cfg(), plan)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_sim);
+criterion_main!(benches);

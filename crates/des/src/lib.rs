@@ -33,6 +33,7 @@
 //! ```
 
 pub mod hash;
+pub mod parallel;
 pub mod ps;
 pub mod queue;
 pub mod rng;
@@ -40,6 +41,7 @@ pub mod sim;
 pub mod sync;
 pub mod time;
 
+pub use parallel::{run_lockstep, Envelope, LockstepConfig, LockstepReport, NoMsg, ShardActor};
 pub use ps::{JobId, PsIntegrator};
 pub use queue::EventQueue;
 pub use rng::Dice;

@@ -1,0 +1,351 @@
+//! Conservative lockstep execution of sharded simulations.
+//!
+//! A simulated system is split into K *shards*, each a complete
+//! [`Simulation`] advancing its own hierarchical timing wheel. Shards run
+//! concurrently inside fixed-width time windows and synchronize only at
+//! window barriers, where cross-shard messages are exchanged: the classic
+//! conservative (Chandy–Misra–Bryant style) discipline, with the barrier
+//! playing the role of a broadcast null message.
+//!
+//! # Lookahead contract
+//!
+//! The window width must not exceed the model's *lookahead* — the minimum
+//! simulated latency of any cross-shard interaction. If every message
+//! generated at time `t` is due at `t + L` or later and the window width
+//! `W ≤ L`, then a message generated anywhere inside window `[s, s + W]`
+//! is due at or after the window's end, so exchanging messages only at the
+//! barrier can never violate causality (the driver asserts this per
+//! message). For *exact* equivalence with a sequential co-simulation of
+//! all shards, choose `W` strictly below `L`: then every delivery lands
+//! strictly inside a later window and interleaves with local events in
+//! pure timestamp order.
+//!
+//! # Determinism
+//!
+//! The trajectory of a lockstep run is a pure function of the shard
+//! states and the window width. Worker threads are a performance knob
+//! only: shards are data-independent between barriers, and the exchange
+//! at each barrier sorts deliveries by `(due time, source shard, send
+//! order)` before applying them, so any interleaving of the workers
+//! produces the same event sequence in every shard.
+
+use crate::sim::{Actor, Simulation};
+use crate::time::{SimDuration, SimTime};
+
+/// A cross-shard message awaiting delivery.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Destination shard index.
+    pub dest: usize,
+    /// Simulated time at which the message takes effect; must be at or
+    /// after the end of the window that generated it (see the module docs
+    /// on lookahead).
+    pub due: SimTime,
+    /// The payload.
+    pub msg: M,
+}
+
+/// A shard participating in a lockstep run: a normal [`Actor`] plus the
+/// cross-shard mailbox protocol.
+pub trait ShardActor: Actor + Send {
+    /// Payload type of cross-shard messages. Shards that never interact
+    /// (shared-nothing population shards) use [`NoMsg`].
+    type Msg: Send;
+
+    /// Moves every message generated during the window just simulated
+    /// into `out`, in the order it was generated. Called at each barrier
+    /// with the shard quiescent.
+    fn drain_outbox(&mut self, out: &mut Vec<Envelope<Self::Msg>>);
+
+    /// Converts an inbound message from shard `from` into the local event
+    /// that realizes it; the driver schedules that event at the
+    /// envelope's due time.
+    fn accept(&mut self, from: usize, msg: Self::Msg) -> Self::Event;
+}
+
+/// Message type for shards that never communicate; uninhabited, so
+/// [`ShardActor::accept`] is statically unreachable.
+#[derive(Debug, Clone, Copy)]
+pub enum NoMsg {}
+
+/// Tuning knobs of a lockstep run.
+#[derive(Debug, Clone, Copy)]
+pub struct LockstepConfig {
+    /// Synchronization window width; must be positive and at most the
+    /// model's lookahead (see the module docs).
+    pub window: SimDuration,
+    /// Number of worker threads to spread shards over; clamped to
+    /// `1..=shards`. Affects wall time only, never the trajectory.
+    pub workers: usize,
+}
+
+/// Summary of a completed lockstep run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockstepReport {
+    /// Number of window barriers executed.
+    pub barriers: u64,
+    /// Number of (ordered) shard pairs that exchanged no message in some
+    /// window — each is an implicit null message advancing the receiving
+    /// shard's time bound.
+    pub null_messages: u64,
+    /// Number of cross-shard messages delivered.
+    pub messages: u64,
+}
+
+/// Runs every shard to `horizon` under the lockstep discipline.
+///
+/// Shards advance window by window: each window runs all shards to the
+/// window's end (concurrently when `cfg.workers > 1`), then a barrier
+/// drains every outbox, sorts the deliveries deterministically, and
+/// schedules them on their destination shards. The run ends when the
+/// horizon is reached, or early once every shard is drained and no
+/// deliveries are in flight.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty, the window is zero, or a message violates
+/// the lookahead contract (due before the end of the window that
+/// generated it, destination out of range, or self-addressed).
+pub fn run_lockstep<A: ShardActor>(
+    shards: &mut [Simulation<A>],
+    horizon: SimTime,
+    cfg: &LockstepConfig,
+) -> LockstepReport
+where
+    A::Event: Send,
+{
+    let k = shards.len();
+    assert!(k > 0, "lockstep run needs at least one shard");
+    assert!(
+        cfg.window > SimDuration::ZERO,
+        "lockstep window must be positive"
+    );
+    let workers = cfg.workers.clamp(1, k);
+    let span_base = fgbd_obsv::span::current_path();
+
+    let mut report = LockstepReport::default();
+    let mut outbox: Vec<Envelope<A::Msg>> = Vec::new();
+    let mut deliveries: Vec<(SimTime, usize, Envelope<A::Msg>)> = Vec::new();
+    // Ordered-pair traffic matrix for null-message accounting.
+    let mut pair_sent = vec![false; k * k];
+
+    let mut window_start = SimTime::ZERO;
+    loop {
+        let window_end = (window_start + cfg.window).min(horizon);
+
+        if workers == 1 {
+            for shard in shards.iter_mut() {
+                shard.run_until(window_end);
+            }
+        } else {
+            // Contiguous chunks, one per worker. Shards share nothing
+            // between barriers, so any assignment yields the same
+            // trajectory; chunking just balances the load.
+            let chunk = k.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for shard_chunk in shards.chunks_mut(chunk) {
+                    let base = &span_base;
+                    scope.spawn(move || {
+                        // Workers report their spans under the caller's
+                        // span path, like every fgbd worker pool.
+                        fgbd_obsv::span::adopt_path(base);
+                        for shard in shard_chunk {
+                            shard.run_until(window_end);
+                        }
+                        fgbd_obsv::span::flush_thread();
+                    });
+                }
+            });
+        }
+
+        report.barriers += 1;
+        fgbd_obsv::counter!("des.sync_barriers", 1);
+
+        // Exchange: drain outboxes in shard order, then deliver in
+        // deterministic (due, source, send-order) order. The sort is
+        // stable and the collection order is already (source asc, send
+        // order asc), so sorting by due time alone preserves the rest.
+        pair_sent.iter_mut().for_each(|p| *p = false);
+        for (src, shard) in shards.iter_mut().enumerate() {
+            shard.actor_mut().drain_outbox(&mut outbox);
+            for env in outbox.drain(..) {
+                assert!(env.dest < k, "message to unknown shard {}", env.dest);
+                assert!(env.dest != src, "self-addressed cross-shard message");
+                assert!(
+                    env.due >= window_end,
+                    "lookahead violation: message due {:?} inside window ending {:?}",
+                    env.due,
+                    window_end
+                );
+                pair_sent[src * k + env.dest] = true;
+                deliveries.push((env.due, src, env));
+            }
+        }
+        deliveries.sort_by_key(|(due, _, _)| *due);
+        report.messages += deliveries.len() as u64;
+        for (due, src, env) in deliveries.drain(..) {
+            let event = shards[env.dest].actor_mut().accept(src, env.msg);
+            shards[env.dest].prime(due, event);
+        }
+        let quiet = pair_sent.iter().filter(|sent| !**sent).count() as u64
+            // Self-pairs are not message channels.
+            - k as u64;
+        if quiet > 0 {
+            report.null_messages += quiet;
+            fgbd_obsv::counter!("des.null_messages", quiet);
+        }
+
+        if window_end >= horizon {
+            break;
+        }
+        // Early exit: every wheel drained and nothing in flight.
+        if shards.iter().all(|s| s.pending() == 0) {
+            break;
+        }
+        window_start = window_end;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Scheduler;
+
+    /// A shard that ping-pongs tokens with its peer: on each token it
+    /// waits a deterministic local delay, then emits the token back with
+    /// a cross-shard latency strictly above the window.
+    struct Pinger {
+        id: usize,
+        peer: usize,
+        hops_left: u32,
+        latency: SimDuration,
+        seen: Vec<SimTime>,
+        out: Vec<Envelope<u32>>,
+    }
+
+    impl Actor for Pinger {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, token: u32, _sched: &mut Scheduler<u32>) {
+            self.seen.push(now);
+            if self.hops_left > 0 {
+                self.hops_left -= 1;
+                self.out.push(Envelope {
+                    dest: self.peer,
+                    due: now + self.latency,
+                    msg: token + 1,
+                });
+            }
+        }
+    }
+
+    impl ShardActor for Pinger {
+        type Msg = u32;
+        fn drain_outbox(&mut self, out: &mut Vec<Envelope<u32>>) {
+            out.append(&mut self.out);
+        }
+        fn accept(&mut self, from: usize, msg: u32) -> u32 {
+            assert_eq!(from, self.peer);
+            msg
+        }
+    }
+
+    fn pinger_pair(hops: u32, latency_ms: u64) -> Vec<Simulation<Pinger>> {
+        let mk = |id: usize, peer: usize| {
+            Simulation::new(Pinger {
+                id,
+                peer,
+                hops_left: hops,
+                latency: SimDuration::from_millis(latency_ms),
+                seen: Vec::new(),
+                out: Vec::new(),
+            })
+        };
+        let mut shards = vec![mk(0, 1), mk(1, 0)];
+        shards[0].prime(SimTime::from_millis(1), 0);
+        shards
+    }
+
+    #[test]
+    fn ping_pong_crosses_shards_in_timestamp_order() {
+        let mut shards = pinger_pair(6, 10);
+        let report = run_lockstep(
+            &mut shards,
+            SimTime::from_secs(1),
+            &LockstepConfig {
+                window: SimDuration::from_millis(5),
+                workers: 2,
+            },
+        );
+        // Token bounces at 1ms, 11ms, 21ms, …: shard 0 sees the even
+        // hops, shard 1 the odd ones, until both hop budgets (6 each)
+        // are spent.
+        let expect = |start: u64, n: u64| -> Vec<SimTime> {
+            (0..n).map(|i| SimTime::from_millis(start + 20 * i)).collect()
+        };
+        assert_eq!(shards[0].actor().seen, expect(1, 7));
+        assert_eq!(shards[1].actor().seen, expect(11, 6));
+        assert_eq!(report.messages, 12);
+        assert!(report.barriers > 0);
+        assert_eq!(shards[0].actor().id, 0);
+    }
+
+    #[test]
+    fn worker_count_is_trajectory_invariant() {
+        let runs: Vec<Vec<SimTime>> = [1usize, 2]
+            .into_iter()
+            .map(|workers| {
+                let mut shards = pinger_pair(8, 7);
+                run_lockstep(
+                    &mut shards,
+                    SimTime::from_secs(1),
+                    &LockstepConfig {
+                        window: SimDuration::from_millis(3),
+                        workers,
+                    },
+                );
+                shards
+                    .iter()
+                    .flat_map(|s| s.actor().seen.iter().copied())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+
+    #[test]
+    fn idle_shards_exit_early_and_count_null_messages() {
+        // No initial event in shard 1's queue and only one in shard 0's:
+        // after the first exchange both wheels drain and the run stops
+        // long before the horizon.
+        let mut shards = pinger_pair(0, 10);
+        let report = run_lockstep(
+            &mut shards,
+            SimTime::from_secs(3_600),
+            &LockstepConfig {
+                window: SimDuration::from_millis(5),
+                workers: 2,
+            },
+        );
+        assert_eq!(report.messages, 0);
+        assert!(report.barriers < 10, "drained run must exit early");
+        // Every barrier left both ordered pairs quiet.
+        assert_eq!(report.null_messages, 2 * report.barriers);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn lookahead_violations_are_caught() {
+        // Latency below the window: the message comes due inside the very
+        // window that generated it.
+        let mut shards = pinger_pair(2, 1);
+        run_lockstep(
+            &mut shards,
+            SimTime::from_secs(1),
+            &LockstepConfig {
+                window: SimDuration::from_millis(50),
+                workers: 1,
+            },
+        );
+    }
+}

@@ -172,6 +172,11 @@ impl<A: Actor> Simulation<A> {
     pub fn events_processed(&self) -> u64 {
         self.events_processed
     }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.sched.pending()
+    }
 }
 
 #[cfg(test)]

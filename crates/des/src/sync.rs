@@ -29,7 +29,27 @@ use std::sync::Arc;
 /// consumer blocked elsewhere would burn its whole timeslice.
 const SPINS_BEFORE_YIELD: u32 = 64;
 const YIELDS_BEFORE_SLEEP: u32 = 64;
-const BLOCKED_SLEEP: std::time::Duration = std::time::Duration::from_micros(50);
+const BLOCKED_SLEEP: std::time::Duration = std::time::Duration::from_micros(20);
+
+/// Busy-spin budget before the ladder escalates to yields. Spinning only
+/// pays when the opposing endpoint can make progress *concurrently*; on an
+/// effectively single-core host every spin probe is stolen from the very
+/// thread that would unblock us, so the budget drops to zero and the
+/// ladder starts at `yield_now` (this was the low-shard streaming
+/// regression: shards 1–2 spent their stall time spinning against a
+/// descheduled peer).
+fn spin_budget() -> u32 {
+    use std::sync::OnceLock;
+    static BUDGET: OnceLock<u32> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores > 1 {
+            SPINS_BEFORE_YIELD
+        } else {
+            0
+        }
+    })
+}
 
 /// Cache-line padding so the producer- and consumer-owned indices do not
 /// false-share.
@@ -129,9 +149,10 @@ pub fn channel<T: Send>(capacity: usize) -> (Sender<T>, Receiver<T>) {
 
 /// One step of the spin → yield → sleep backoff ladder.
 fn backoff(round: u32) {
-    if round < SPINS_BEFORE_YIELD {
+    let spins = spin_budget();
+    if round < spins {
         std::hint::spin_loop();
-    } else if round < SPINS_BEFORE_YIELD + YIELDS_BEFORE_SLEEP {
+    } else if round < spins + YIELDS_BEFORE_SLEEP {
         std::thread::yield_now();
     } else {
         std::thread::sleep(BLOCKED_SLEEP);

@@ -45,6 +45,7 @@ pub mod config;
 pub mod dvfs;
 pub mod gc;
 pub mod result;
+pub mod shard;
 pub mod system;
 
 pub use class::{MixTargets, RequestClass, WorkloadMix};
@@ -52,4 +53,5 @@ pub use config::{BurstConfig, Jdk, MsgSizes, ServerSpec, SystemConfig, BASE_MHZ}
 pub use dvfs::{DvfsConfig, DvfsState, PState, PStateSample, XEON_PSTATES};
 pub use gc::{Collector, GcConfig, GcEvent};
 pub use result::{CpuSample, RunResult, ServerInfo, TxnSample};
+pub use shard::{run_sharded, ShardPlan};
 pub use system::{Ev, NTierSystem, Parent};

@@ -1,0 +1,324 @@
+//! Population-sharded parallel execution: the closed-loop user population
+//! is split across K independent *pods*, each a complete replica of the
+//! n-tier topology simulated on its own timing wheel with its own RNG
+//! substream, and the pod outputs are merged deterministically.
+//!
+//! # Semantics
+//!
+//! A K-pod run models a scaled-out fleet: K replicas of the topology,
+//! each serving `users / K` of the population. It is **not** a bitwise
+//! re-execution of the one-pod system — splitting the population changes
+//! the contention physics (K pods of N/K users queue independently) — so
+//! the shard count is a *model parameter*, like the user count. What the
+//! implementation guarantees, and what the tests pin down, is:
+//!
+//! * **Per-K determinism** — for a fixed shard count, the merged output
+//!   is byte-identical across runs, worker-thread counts, and scheduling
+//!   interleavings. Worker count is purely a performance knob.
+//! * **K = 1 equivalence** — a single-pod sharded run reproduces the
+//!   sequential simulator's output byte-for-byte: same events, same
+//!   trajectory, and the shard-0 merge tags are all zero bits.
+//! * **Substream isolation** — pod seeds come from
+//!   [`Dice::stream_seed`], a pure function of `(master seed, pod
+//!   index)`: changing K never perturbs another pod's stream or the
+//!   sequential stream.
+//!
+//! # Mechanics
+//!
+//! Pods ride the conservative lockstep driver
+//! ([`fgbd_des::run_lockstep`]): each synchronization window runs every
+//! pod to the window's end on a worker pool, then a barrier exchanges
+//! cross-pod messages. Population pods share nothing, so every barrier
+//! flush is empty — accounted as null messages (`des.null_messages`),
+//! with the barriers themselves visible as `des.sync_barriers`. The
+//! window width is the mean think time: the natural lookahead bound for
+//! this model (a completed user re-arrives no sooner than its think
+//! delay on average; for shared-nothing pods any window is causally
+//! safe, this one just bounds barrier frequency).
+//!
+//! Captures are merged by [`fgbd_trace::merge_shard_logs`] (timestamp
+//! order, shard-tagged connection and truth ids); scalar outputs are
+//! summed, samples k-way merged by `(time, pod)`.
+
+use fgbd_des::parallel::{Envelope, LockstepConfig, NoMsg, ShardActor};
+use fgbd_des::{run_lockstep, Dice, SimDuration, SimTime, Simulation};
+use fgbd_trace::merge::{merge_shard_logs, MAX_SIM_SHARDS};
+
+use crate::config::SystemConfig;
+use crate::result::RunResult;
+use crate::system::{Ev, NTierSystem};
+
+impl ShardActor for NTierSystem {
+    type Msg = NoMsg;
+
+    fn drain_outbox(&mut self, _out: &mut Vec<Envelope<NoMsg>>) {
+        // Population pods are shared-nothing: nothing ever crosses.
+    }
+
+    fn accept(&mut self, _from: usize, msg: NoMsg) -> Ev {
+        match msg {}
+    }
+}
+
+/// How a sharded run is laid out: the logical pod count (affects the
+/// model) and the physical worker count (affects wall time only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of population pods; clamped to `1..=`[`MAX_SIM_SHARDS`].
+    pub shards: usize,
+    /// Number of worker threads; clamped to `1..=shards` at run time.
+    pub workers: usize,
+}
+
+impl ShardPlan {
+    /// A plan with `shards` pods and one worker per pod (capped by the
+    /// host's parallelism at run time only through `workers`).
+    pub fn new(shards: usize) -> ShardPlan {
+        ShardPlan {
+            shards,
+            workers: shards,
+        }
+    }
+
+    /// The plan selected by the environment, or `None` when sharding is
+    /// off (the default):
+    ///
+    /// * `FGBD_SIM_SHARDS` — pod count; unset, `0` or `1` selects the
+    ///   sequential simulator (the exact unsharded code path).
+    ///   Clamped to [`MAX_SIM_SHARDS`].
+    /// * `FGBD_SIM_WORKERS` — worker threads; defaults to the host's
+    ///   available parallelism. Output-invariant.
+    pub fn from_env() -> Option<ShardPlan> {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        };
+        let shards = parse("FGBD_SIM_SHARDS")?;
+        if shards <= 1 {
+            return None;
+        }
+        let workers = parse("FGBD_SIM_WORKERS")
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Some(ShardPlan {
+            shards: shards.min(MAX_SIM_SHARDS),
+            workers: workers.max(1),
+        })
+    }
+}
+
+/// Splits `users` across `shards` pods, earlier pods taking the
+/// remainder: the sizes differ by at most one and sum to `users`.
+pub fn split_users(users: u32, shards: usize) -> Vec<u32> {
+    let k = shards as u32;
+    (0..k).map(|i| users / k + u32::from(i < users % k)).collect()
+}
+
+/// Runs `cfg` as a fleet of `plan.shards` population pods and merges the
+/// outputs; see the module docs for the exact semantics. A one-pod plan
+/// reproduces [`NTierSystem::run`] byte-for-byte.
+///
+/// # Panics
+///
+/// Panics if `plan.shards` is zero or exceeds [`MAX_SIM_SHARDS`].
+pub fn run_sharded(cfg: SystemConfig, plan: &ShardPlan) -> RunResult {
+    assert!(
+        (1..=MAX_SIM_SHARDS).contains(&plan.shards),
+        "shard count must be in 1..={MAX_SIM_SHARDS}"
+    );
+    // Never split below one user per pod.
+    let shards = plan.shards.min(cfg.users.max(1) as usize);
+    let horizon = SimTime::ZERO + cfg.warmup + cfg.duration;
+    let shares = split_users(cfg.users, shards);
+
+    let mut pods: Vec<Simulation<NTierSystem>> = shares
+        .iter()
+        .enumerate()
+        .map(|(pod, &share)| {
+            let mut pod_cfg = cfg.clone();
+            pod_cfg.users = share;
+            // A one-pod fleet IS the sequential system: it replays the
+            // root stream byte-for-byte. Real fleets put each pod on its
+            // own substream; none of those ever equals the root stream,
+            // so no shard count perturbs the sequential trajectory.
+            pod_cfg.seed = if shards == 1 {
+                cfg.seed
+            } else {
+                Dice::stream_seed(cfg.seed, pod as u64)
+            };
+            let mut sim = Simulation::new(NTierSystem::new(pod_cfg));
+            sim.prime(SimTime::ZERO, Ev::Boot);
+            sim
+        })
+        .collect();
+
+    let window = if cfg.think_time > SimDuration::ZERO {
+        cfg.think_time
+    } else {
+        SimDuration::from_secs(1)
+    };
+    run_lockstep(
+        &mut pods,
+        horizon,
+        &LockstepConfig {
+            window,
+            workers: plan.workers,
+        },
+    );
+
+    let results: Vec<RunResult> = pods
+        .into_iter()
+        .map(|pod| pod.into_actor().into_result(horizon))
+        .collect();
+    merge_results(results, &shares)
+}
+
+/// Concatenates per-pod sample vectors into one deterministic order:
+/// stable sort by the key, so equal keys keep (pod, within-pod) order.
+fn kmerge<T, K: Ord, F: Fn(&T) -> K>(pods: Vec<Vec<T>>, key: F) -> Vec<T> {
+    let mut all: Vec<T> = pods.into_iter().flatten().collect();
+    all.sort_by_key(|t| key(t));
+    all
+}
+
+/// Folds per-pod results into one fleet-level [`RunResult`].
+fn merge_results(mut results: Vec<RunResult>, shares: &[u32]) -> RunResult {
+    let first = results.first().expect("at least one pod");
+    let servers = first.servers.clone();
+    let warmup_end = first.warmup_end;
+    let horizon = first.horizon;
+    let n_servers = servers.len();
+
+    // Global user ids: pod p's user u becomes base(p) + u.
+    let mut user_base = vec![0u32; shares.len()];
+    for p in 1..shares.len() {
+        user_base[p] = user_base[p - 1] + shares[p - 1];
+    }
+    for (pod, res) in results.iter_mut().enumerate() {
+        for txn in &mut res.txns {
+            txn.user += user_base[pod];
+        }
+    }
+
+    // CPU samples are cumulative busy core-seconds on an identical
+    // deterministic sampling schedule in every pod, so averaging aligned
+    // samples keeps `mean_cpu_util` = the mean utilization across the
+    // fleet's replicas of each logical server.
+    let mut cpu_busy = Vec::with_capacity(n_servers);
+    for s in 0..n_servers {
+        let len = results
+            .iter()
+            .map(|r| r.cpu_busy[s].len())
+            .max()
+            .unwrap_or(0);
+        let mut merged = Vec::with_capacity(len);
+        for i in 0..len {
+            let mut at = None;
+            let mut sum = 0.0;
+            let mut n = 0u32;
+            for r in &results {
+                if let Some(sample) = r.cpu_busy[s].get(i) {
+                    assert!(
+                        *at.get_or_insert(sample.at) == sample.at,
+                        "pods must share one CPU sampling schedule"
+                    );
+                    sum += sample.busy_core_seconds;
+                    n += 1;
+                }
+            }
+            merged.push(crate::result::CpuSample {
+                at: at.expect("non-empty sample column"),
+                busy_core_seconds: sum / f64::from(n),
+            });
+        }
+        cpu_busy.push(merged);
+    }
+
+    let mut net_bytes = vec![(0u64, 0u64); n_servers];
+    let mut completed_visits = vec![0u64; n_servers];
+    let mut retransmissions = 0u64;
+    for r in &results {
+        for (acc, &(rx, tx)) in net_bytes.iter_mut().zip(&r.net_bytes) {
+            acc.0 += rx;
+            acc.1 += tx;
+        }
+        for (acc, &v) in completed_visits.iter_mut().zip(&r.completed_visits) {
+            *acc += v;
+        }
+        retransmissions += r.retransmissions;
+    }
+
+    let mut logs = Vec::with_capacity(results.len());
+    let mut txns = Vec::with_capacity(results.len());
+    let mut gc_events = Vec::with_capacity(results.len());
+    let mut pstate_log = Vec::with_capacity(results.len());
+    for r in results {
+        logs.push(r.log);
+        txns.push(r.txns);
+        gc_events.push(r.gc_events);
+        pstate_log.push(r.pstate_log);
+    }
+
+    RunResult {
+        servers,
+        log: merge_shard_logs(logs),
+        txns: kmerge(txns, |t| (t.finished, t.user)),
+        gc_events: kmerge(gc_events, |g| (g.start, g.server, g.end)),
+        pstate_log: kmerge(pstate_log, |p| (p.at, p.server, p.pstate)),
+        cpu_busy,
+        net_bytes,
+        completed_visits,
+        retransmissions,
+        warmup_end,
+        horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_users_is_exact_and_balanced() {
+        assert_eq!(split_users(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_users(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(split_users(3, 8), vec![1, 1, 1, 0, 0, 0, 0, 0]);
+        for (users, k) in [(100u32, 7usize), (1, 1), (9, 2)] {
+            let shares = split_users(users, k);
+            assert_eq!(shares.iter().sum::<u32>(), users);
+            assert_eq!(shares.len(), k);
+        }
+    }
+
+    #[test]
+    fn plan_from_env_requires_two_or_more_shards() {
+        // Serialized against other env-reading tests by running in one
+        // test body.
+        let saved: Vec<(&str, Option<String>)> = ["FGBD_SIM_SHARDS", "FGBD_SIM_WORKERS"]
+            .into_iter()
+            .map(|k| (k, std::env::var(k).ok()))
+            .collect();
+
+        std::env::remove_var("FGBD_SIM_SHARDS");
+        assert_eq!(ShardPlan::from_env(), None);
+        for off in ["0", "1"] {
+            std::env::set_var("FGBD_SIM_SHARDS", off);
+            assert_eq!(ShardPlan::from_env(), None, "shards={off} must be off");
+        }
+        std::env::set_var("FGBD_SIM_SHARDS", "4");
+        std::env::set_var("FGBD_SIM_WORKERS", "2");
+        let plan = ShardPlan::from_env().expect("sharding on");
+        assert_eq!(plan.shards, 4);
+        assert_eq!(plan.workers, 2);
+        // Oversized shard counts clamp to the id-namespace limit.
+        std::env::set_var("FGBD_SIM_SHARDS", "99");
+        assert_eq!(ShardPlan::from_env().unwrap().shards, MAX_SIM_SHARDS);
+
+        for (k, v) in saved {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+    }
+}

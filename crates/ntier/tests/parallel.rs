@@ -1,0 +1,138 @@
+//! Integration tests for the population-sharded parallel simulator:
+//! one-pod equivalence with the sequential reference, worker-count
+//! invariance, and fleet-level conservation laws.
+
+use fgbd_des::SimDuration;
+use fgbd_ntier::config::{Jdk, SystemConfig};
+use fgbd_ntier::result::RunResult;
+use fgbd_ntier::shard::{run_sharded, split_users, ShardPlan};
+use fgbd_ntier::system::NTierSystem;
+use fgbd_trace::merge::SHARD_CONN_SHIFT;
+use fgbd_trace::SpanSet;
+
+fn quick_cfg(users: u32, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_1l2s1l2s(users, Jdk::Jdk16, false, seed);
+    cfg.warmup = SimDuration::from_secs(4);
+    cfg.duration = SimDuration::from_secs(12);
+    cfg
+}
+
+/// Field-by-field byte equality of two run results (`RunResult` holds
+/// floats, so it deliberately has no blanket `Eq`; the simulator is
+/// deterministic, so exact comparison is the right bar here).
+fn assert_same_result(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.servers, b.servers);
+    assert_eq!(a.log.nodes, b.log.nodes);
+    assert_eq!(a.log.records, b.log.records);
+    assert_eq!(a.txns, b.txns);
+    assert_eq!(a.gc_events, b.gc_events);
+    assert_eq!(a.pstate_log, b.pstate_log);
+    assert_eq!(a.cpu_busy, b.cpu_busy);
+    assert_eq!(a.net_bytes, b.net_bytes);
+    assert_eq!(a.completed_visits, b.completed_visits);
+    assert_eq!(a.retransmissions, b.retransmissions);
+    assert_eq!(a.warmup_end, b.warmup_end);
+    assert_eq!(a.horizon, b.horizon);
+}
+
+#[test]
+fn one_pod_run_equals_sequential_byte_for_byte() {
+    let sequential = NTierSystem::run(quick_cfg(200, 31));
+    let sharded = run_sharded(
+        quick_cfg(200, 31),
+        &ShardPlan {
+            shards: 1,
+            workers: 4,
+        },
+    );
+    assert_same_result(&sequential, &sharded);
+}
+
+#[test]
+fn worker_count_never_changes_the_output() {
+    let runs: Vec<RunResult> = [1usize, 2, 4]
+        .into_iter()
+        .map(|workers| run_sharded(quick_cfg(240, 17), &ShardPlan { shards: 4, workers }))
+        .collect();
+    assert_same_result(&runs[0], &runs[1]);
+    assert_same_result(&runs[0], &runs[2]);
+}
+
+#[test]
+fn repeated_sharded_runs_are_deterministic() {
+    let a = run_sharded(quick_cfg(150, 5), &ShardPlan::new(3));
+    let b = run_sharded(quick_cfg(150, 5), &ShardPlan::new(3));
+    assert_same_result(&a, &b);
+}
+
+#[test]
+fn fleet_conserves_population_and_remaps_users() {
+    let users = 230u32;
+    let shards = 4usize;
+    let res = run_sharded(quick_cfg(users, 23), &ShardPlan::new(shards));
+
+    // Every transaction belongs to a global user id below the population,
+    // and every pod's id range shows up.
+    let shares = split_users(users, shards);
+    assert!(res.txns.iter().all(|t| t.user < users));
+    let mut base = 0u32;
+    for &share in &shares {
+        assert!(
+            res.txns
+                .iter()
+                .any(|t| (base..base + share).contains(&t.user)),
+            "no transactions from the pod starting at user {base}"
+        );
+        base += share;
+    }
+
+    // Transactions come out in completion order.
+    assert!(res.txns.windows(2).all(|w| w[0].finished <= w[1].finished));
+
+    // The merged capture is tap-ordered, every shard tag is in range, and
+    // the merged log still pairs into spans (ids never alias).
+    assert!(res.log.records.windows(2).all(|w| w[0].at <= w[1].at));
+    assert!(res
+        .log
+        .records
+        .iter()
+        .all(|r| (r.conn.0 >> SHARD_CONN_SHIFT) < shards as u32));
+    let spans = SpanSet::extract(&res.log);
+    for (i, info) in res.servers.iter().enumerate() {
+        assert_eq!(
+            spans.server(info.node).len() as u64,
+            res.completed_visits[i],
+            "{}: merged spans vs completed visits",
+            info.name
+        );
+    }
+
+    // Closed-loop sanity: a fleet of 4 quarter-populations still pushes
+    // roughly N/Z through (pods are smaller, so waiting is no worse).
+    let x = res.throughput();
+    let expected = f64::from(users) / 7.5;
+    assert!(
+        (x - expected).abs() / expected < 0.2,
+        "fleet throughput {x} vs {expected}"
+    );
+}
+
+#[test]
+fn changing_shard_count_keeps_pod_zero_stream() {
+    // The K=2 run's pod 0 and the K=3 run's pod 0 simulate different
+    // population shares, but their seeds agree (stream 0 of the master
+    // seed) — pinned here via the pod-0 connection ids' low bits being
+    // identical prefixes is too strong; instead check the documented
+    // contract directly.
+    use fgbd_des::Dice;
+    let root = 20130708u64;
+    let k2_pod0 = Dice::stream_seed(root, 0);
+    let k3_pod0 = Dice::stream_seed(root, 0);
+    assert_eq!(k2_pod0, k3_pod0);
+    // And distinct pods never share a seed.
+    let seeds: Vec<u64> = (0..15).map(|p| Dice::stream_seed(root, p)).collect();
+    let mut dedup = seeds.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), seeds.len(), "pod seeds collide");
+}

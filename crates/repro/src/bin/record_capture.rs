@@ -65,7 +65,9 @@ fn main() {
         fgbd_obsv::span!("record_capture");
         let mut cfg = scenario.config(users);
         cfg.duration = SimDuration::from_secs(secs);
-        let run = fgbd_ntier::system::NTierSystem::run(cfg);
+        // Honors FGBD_SIM_SHARDS/FGBD_SIM_WORKERS like every experiment:
+        // CI byte-compares captures across worker counts through here.
+        let run = fgbd_repro::simulate(cfg);
         let file = File::create(&path).expect("create capture file");
         write_capture(BufWriter::new(file), &run.log).expect("write capture");
         run

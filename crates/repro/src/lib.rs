@@ -44,4 +44,4 @@ pub mod sweep;
 
 pub use pipeline::{Analysis, Calibration};
 pub use report::ExperimentSummary;
-pub use scenario::{Scenario, GC_JDK15, GC_JDK16, SPEEDSTEP_OFF, SPEEDSTEP_ON};
+pub use scenario::{simulate, Scenario, GC_JDK15, GC_JDK16, SPEEDSTEP_OFF, SPEEDSTEP_ON};

@@ -3,11 +3,27 @@
 use fgbd_des::SimDuration;
 use fgbd_ntier::config::{Jdk, SystemConfig};
 use fgbd_ntier::result::RunResult;
+use fgbd_ntier::shard::{run_sharded, ShardPlan};
 use fgbd_ntier::system::NTierSystem;
 use fgbd_trace::{SpanSet, SpanStream, StreamConfig};
 
 /// The master seed shared by all experiments (figures are deterministic).
 pub const MASTER_SEED: u64 = 20130708;
+
+/// Runs `cfg` on the simulator selected by the environment: the
+/// sequential reference by default (`FGBD_SIM_SHARDS` unset, `0` or `1` —
+/// the exact unsharded code path), or the population-sharded parallel
+/// simulator when `FGBD_SIM_SHARDS ≥ 2` (see [`fgbd_ntier::shard`] for
+/// the fleet semantics and the determinism contract; `FGBD_SIM_WORKERS`
+/// tunes threads without affecting output). Every experiment binary
+/// funnels its simulations through here, so the env knobs apply
+/// uniformly.
+pub fn simulate(cfg: SystemConfig) -> RunResult {
+    match ShardPlan::from_env() {
+        Some(plan) => run_sharded(cfg, &plan),
+        None => NTierSystem::run(cfg),
+    }
+}
 
 /// A named scenario: the 1L/2S/1L/2S topology with the case-study knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +77,7 @@ impl Scenario {
     pub fn run(&self, users: u32) -> RunResult {
         fgbd_obsv::span!("simulate");
         fgbd_obsv::counter!("scenario.runs", self.name, 1);
-        NTierSystem::run(self.config(users))
+        simulate(self.config(users))
     }
 
     /// Runs the scenario with the capture streamed straight into the
@@ -73,11 +89,25 @@ impl Scenario {
     ///
     /// Falls back to the batch path — materialize the log, then
     /// [`SpanSet::extract`] — when streaming is switched off
-    /// (`FGBD_STREAM=0` or `FGBD_STREAM_SHARDS=0`). The spans are
+    /// (`FGBD_STREAM=0` or `FGBD_STREAM_SHARDS=0`), or when it isn't
+    /// explicitly configured and the default shard count would be below
+    /// two: at one or two extraction shards the hand-off overhead loses
+    /// to the batch extractor, so [`StreamConfig::from_env_auto`] only
+    /// opts in when streaming can actually win. The spans are
     /// bit-identical either way; in streamed mode the returned run's
     /// `log` comes back empty (the records were consumed online).
+    ///
+    /// A sharded simulation (`FGBD_SIM_SHARDS ≥ 2`) takes precedence
+    /// over the streaming tap: the pods materialize per-pod logs that
+    /// are merged (the `sim_merge` stage), and spans come from the batch
+    /// extractor over the merged capture.
     pub fn run_streamed(&self, users: u32) -> (RunResult, SpanSet) {
-        match StreamConfig::from_env() {
+        if ShardPlan::from_env().is_some() {
+            let run = self.run(users);
+            let spans = SpanSet::extract(&run.log);
+            return (run, spans);
+        }
+        match StreamConfig::from_env_auto() {
             Some(cfg) => {
                 let (stream, sink) = SpanStream::start(&cfg);
                 let run = {
@@ -106,7 +136,7 @@ impl Scenario {
         fgbd_obsv::counter!("scenario.runs", self.name, 1);
         let mut cfg = self.config(users);
         cfg.capture = false;
-        NTierSystem::run(cfg)
+        simulate(cfg)
     }
 
     /// A short low-workload calibration run used for service-time
@@ -118,7 +148,7 @@ impl Scenario {
         let mut cfg = self.config(400);
         cfg.warmup = SimDuration::from_secs(5);
         cfg.duration = SimDuration::from_secs(40);
-        NTierSystem::run(cfg)
+        simulate(cfg)
     }
 }
 

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod capture;
+pub mod merge;
 pub mod reconstruct;
 pub mod record;
 pub mod servicetime;
@@ -57,6 +58,7 @@ pub mod span;
 pub mod stream;
 
 pub use capture::{read_capture, read_capture_tapped, write_capture, CaptureError};
+pub use merge::merge_shard_logs;
 pub use record::{
     ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, TraceLog, TxnId,
 };

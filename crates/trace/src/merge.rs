@@ -1,0 +1,187 @@
+//! Deterministic merging of per-shard captures into one tap-ordered log.
+//!
+//! Population-sharded simulation (see `fgbd_ntier::shard`) runs K
+//! independent replicas of the traced topology, each producing its own
+//! time-ordered [`TraceLog`] with shard-local connection ids and
+//! ground-truth transaction ids. This module folds those captures into a
+//! single log as one physical tap would have seen them:
+//!
+//! * **Id namespacing** — connection ids and truth transaction ids are
+//!   tagged with the shard index in their high bits, so flows from
+//!   different shards can never alias. Pairing and reconstruction then
+//!   work unchanged on the merged log.
+//! * **Tap ordering** — records are k-way merged by `(timestamp, shard)`,
+//!   preserving each shard's internal order. The result is a pure
+//!   function of the shard logs: no dependence on which worker thread
+//!   finished first.
+//!
+//! The node tables must be identical across shards (replicas of one
+//! topology); the merged log keeps a single copy, so per-server analysis
+//! aggregates all replicas of a logical server.
+
+use crate::record::{ConnId, TraceLog, TxnId};
+
+/// Bit position of the shard tag within a merged [`ConnId`]; shard-local
+/// connection ids must stay below `1 << SHARD_CONN_SHIFT`.
+pub const SHARD_CONN_SHIFT: u32 = 28;
+
+/// Bit position of the shard tag within a merged truth [`TxnId`].
+pub const SHARD_TXN_SHIFT: u32 = 56;
+
+/// Highest shard count the id namespacing supports.
+pub const MAX_SIM_SHARDS: usize = (1 << (32 - SHARD_CONN_SHIFT)) - 1;
+
+/// Merges per-shard captures into one tap-ordered, id-namespaced log.
+///
+/// Returns an empty log for an empty input. For a single shard the
+/// records pass through untouched — shard 0's tag is zero bits — so a
+/// one-shard merge is byte-identical to no merge at all.
+///
+/// # Panics
+///
+/// Panics if the shard count exceeds [`MAX_SIM_SHARDS`], the node tables
+/// disagree, or any shard-local id overflows its namespace.
+pub fn merge_shard_logs(shards: Vec<TraceLog>) -> TraceLog {
+    fgbd_obsv::span!("sim_merge");
+    assert!(
+        shards.len() <= MAX_SIM_SHARDS,
+        "at most {MAX_SIM_SHARDS} shards fit the conn-id namespace"
+    );
+    let Some(first) = shards.first() else {
+        return TraceLog::default();
+    };
+    assert!(
+        shards.iter().all(|s| s.nodes == first.nodes),
+        "shard captures must share one node table"
+    );
+
+    let mut merged = TraceLog::new(first.nodes.clone());
+    merged.records.reserve(shards.iter().map(|s| s.records.len()).sum());
+
+    // K is tiny (≤ 15), so a linear scan over the shard cursors beats a
+    // heap; ties on timestamp break toward the lower shard index.
+    let mut cursors = vec![0usize; shards.len()];
+    loop {
+        let mut best: Option<(usize, fgbd_des::SimTime)> = None;
+        for (shard, log) in shards.iter().enumerate() {
+            if let Some(rec) = log.records.get(cursors[shard]) {
+                if best.is_none_or(|(_, t)| rec.at < t) {
+                    best = Some((shard, rec.at));
+                }
+            }
+        }
+        let Some((shard, _)) = best else { break };
+        let mut rec = shards[shard].records[cursors[shard]];
+        cursors[shard] += 1;
+        assert!(
+            rec.conn.0 < (1 << SHARD_CONN_SHIFT),
+            "shard-local conn id {} overflows the namespace",
+            rec.conn.0
+        );
+        rec.conn = ConnId(rec.conn.0 | (shard as u32) << SHARD_CONN_SHIFT);
+        if let Some(t) = rec.truth {
+            assert!(
+                t.0 < (1 << SHARD_TXN_SHIFT),
+                "shard-local txn id {} overflows the namespace",
+                t.0
+            );
+            rec.truth = Some(TxnId(t.0 | (shard as u64) << SHARD_TXN_SHIFT));
+        }
+        merged.push(rec);
+    }
+    fgbd_obsv::counter!("trace.merged_shard_records", merged.records.len() as u64);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ClassId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta};
+    use fgbd_des::SimTime;
+
+    fn nodes() -> Vec<NodeMeta> {
+        vec![
+            NodeMeta {
+                id: NodeId(0),
+                name: "clients".into(),
+                kind: NodeKind::Client,
+                tier: None,
+            },
+            NodeMeta {
+                id: NodeId(1),
+                name: "web".into(),
+                kind: NodeKind::Server,
+                tier: Some(0),
+            },
+        ]
+    }
+
+    fn rec(at_us: u64, conn: u32, txn: u64) -> MsgRecord {
+        MsgRecord {
+            at: SimTime::from_micros(at_us),
+            src: NodeId(0),
+            dst: NodeId(1),
+            kind: MsgKind::Request,
+            conn: ConnId(conn),
+            class: ClassId(0),
+            bytes: 64,
+            truth: Some(TxnId(txn)),
+        }
+    }
+
+    fn log_of(records: Vec<MsgRecord>) -> TraceLog {
+        let mut log = TraceLog::new(nodes());
+        for r in records {
+            log.push(r);
+        }
+        log
+    }
+
+    #[test]
+    fn single_shard_merge_is_identity() {
+        let log = log_of(vec![rec(1, 5, 9), rec(2, 5, 9)]);
+        let merged = merge_shard_logs(vec![log.clone()]);
+        assert_eq!(merged.records, log.records);
+        assert_eq!(merged.nodes, log.nodes);
+    }
+
+    #[test]
+    fn merge_orders_by_time_with_shard_tie_break() {
+        let a = log_of(vec![rec(10, 1, 1), rec(30, 1, 1)]);
+        let b = log_of(vec![rec(10, 1, 1), rec(20, 1, 1)]);
+        let merged = merge_shard_logs(vec![a, b]);
+        let ats: Vec<u64> = merged.records.iter().map(|r| r.at.as_micros()).collect();
+        assert_eq!(ats, vec![10, 10, 20, 30]);
+        // The 10µs tie goes to shard 0 first.
+        assert_eq!(merged.records[0].conn, ConnId(1));
+        assert_eq!(merged.records[1].conn, ConnId(1 | 1 << SHARD_CONN_SHIFT));
+    }
+
+    #[test]
+    fn ids_are_namespaced_per_shard() {
+        let a = log_of(vec![rec(1, 7, 3)]);
+        let b = log_of(vec![rec(2, 7, 3)]);
+        let merged = merge_shard_logs(vec![a, b]);
+        assert_eq!(merged.records[0].conn, ConnId(7));
+        assert_eq!(merged.records[0].truth, Some(TxnId(3)));
+        assert_eq!(merged.records[1].conn, ConnId(7 | 1 << SHARD_CONN_SHIFT));
+        assert_eq!(
+            merged.records[1].truth,
+            Some(TxnId(3 | 1 << SHARD_TXN_SHIFT))
+        );
+    }
+
+    #[test]
+    fn empty_input_gives_empty_log() {
+        let merged = merge_shard_logs(Vec::new());
+        assert!(merged.nodes.is_empty() && merged.records.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "node table")]
+    fn mismatched_node_tables_are_rejected() {
+        let a = log_of(vec![rec(1, 1, 1)]);
+        let b = TraceLog::new(vec![]);
+        merge_shard_logs(vec![a, b]);
+    }
+}

@@ -51,7 +51,10 @@ use crate::span::{Span, SpanSet};
 
 /// Default records per chunk — large enough to amortize the ring's atomic
 /// hand-off to nothing, small enough to keep the consumer busy early.
-pub const DEFAULT_CHUNK: usize = 16 * 1024;
+/// 32 Ki (×28-byte records ≈ 0.9 MB) halves the hand-off rate of the old
+/// 16 Ki default, which matters most at 1–2 shards where every hand-off
+/// lands on the same one or two consumer threads.
+pub const DEFAULT_CHUNK: usize = 32 * 1024;
 /// Default chunks in flight per channel.
 pub const DEFAULT_CAPACITY: usize = 8;
 const MAX_SHARDS: usize = 8;
@@ -101,6 +104,24 @@ impl StreamConfig {
         let chunk = env_usize("FGBD_STREAM_CHUNK").unwrap_or(DEFAULT_CHUNK);
         let capacity = env_usize("FGBD_STREAM_CAPACITY").unwrap_or(DEFAULT_CAPACITY);
         StreamConfig::from_values(shards, chunk, capacity)
+    }
+
+    /// Like [`StreamConfig::from_env`], but falls back to the batch path
+    /// (`None`) when streaming would *lose*: with a single extractor
+    /// shard the pipeline taxes the producer with per-record tap and
+    /// channel overhead while extraction gains no parallelism
+    /// (`streaming_pipeline/streamed_shards_1` measures 2.4× slower than
+    /// `batch_extract`). The fallback only engages when the default was
+    /// going to pick one shard anyway — an explicit `FGBD_STREAM` /
+    /// `FGBD_STREAM_SHARDS` setting is always honored.
+    pub fn from_env_auto() -> Option<StreamConfig> {
+        let explicit = std::env::var_os("FGBD_STREAM").is_some()
+            || std::env::var_os("FGBD_STREAM_SHARDS").is_some();
+        let cfg = StreamConfig::from_env()?;
+        if !explicit && cfg.shards < 2 {
+            return None;
+        }
+        Some(cfg)
     }
 }
 

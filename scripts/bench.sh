@@ -4,8 +4,10 @@
 # Covers every group in benches/analysis.rs, including the `reconstruction`
 # and `extract_spans` (dense fast paths vs references) and `pipeline`
 # (end-to-end simulate → reconstruct → calibrate → detect) groups, plus
-# the `event_queue` hold-model bench (timing wheel vs reference heap) and
-# the `streaming_pipeline` bench (batch vs sharded online extraction).
+# the `event_queue` hold-model bench (timing wheel vs reference heap), the
+# `streaming_pipeline` bench (batch vs sharded online extraction), and the
+# `parallel_sim` bench (sequential reference vs population-sharded lockstep
+# fleets across worker counts).
 #
 # If any run manifests exist under out/manifests/ (written by the
 # fgbd-repro binaries, see crates/obsv), the newest one's per-stage wall
@@ -21,6 +23,7 @@ if [ "$1" != "--no-run" ]; then
     cargo bench -p fgbd-bench --bench analysis
     cargo bench -p fgbd-bench --bench event_queue
     cargo bench -p fgbd-bench --bench streaming
+    cargo bench -p fgbd-bench --bench parallel_sim
 fi
 
 python3 - <<'EOF'
