@@ -18,6 +18,7 @@ use fgbd_trace::capture::{read_capture, write_capture};
 use fgbd_trace::reconstruct::{reference as rec_reference, Heuristic, Reconstruction};
 use fgbd_trace::servicetime::ServiceTimeTable;
 use fgbd_trace::span::reference as span_reference;
+use fgbd_trace::{read_capture2_parallel, write_capture2};
 use fgbd_trace::{
     ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, Span, SpanSet, TraceLog, TxnId,
 };
@@ -342,6 +343,35 @@ fn bench_capture(c: &mut Criterion) {
     });
     group.bench_function("read_200k_records", |b| {
         b.iter(|| read_capture(black_box(encoded.as_slice())).expect("decode"));
+    });
+
+    // The chunked columnar format on the same 200k-record fixture. The
+    // acceptance targets live here: parallel read ≥3x the flat sequential
+    // read at 4 threads (on multi-core hosts) and ≤0.7x the on-disk bytes.
+    let mut chunked = Vec::new();
+    write_capture2(&mut chunked, &log).expect("encode chunked");
+    println!(
+        "capture_format: flat {} B, chunked {} B ({:.2}x)",
+        encoded.len(),
+        chunked.len(),
+        chunked.len() as f64 / encoded.len() as f64
+    );
+    assert!(
+        chunked.len() * 10 <= encoded.len() * 7,
+        "chunked capture must stay ≤0.7x the flat size"
+    );
+    group.bench_function("chunked_write_200k_records", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(chunked.len());
+            write_capture2(&mut buf, black_box(&log)).expect("encode chunked");
+            buf
+        });
+    });
+    group.bench_function("chunked_read_200k_records_t1", |b| {
+        b.iter(|| read_capture2_parallel(black_box(chunked.as_slice()), 1).expect("decode"));
+    });
+    group.bench_function("chunked_read_200k_records_t4", |b| {
+        b.iter(|| read_capture2_parallel(black_box(chunked.as_slice()), 4).expect("decode"));
     });
     group.finish();
 }

@@ -281,7 +281,9 @@ mod tests {
         // hops, shard 1 the odd ones, until both hop budgets (6 each)
         // are spent.
         let expect = |start: u64, n: u64| -> Vec<SimTime> {
-            (0..n).map(|i| SimTime::from_millis(start + 20 * i)).collect()
+            (0..n)
+                .map(|i| SimTime::from_millis(start + 20 * i))
+                .collect()
         };
         assert_eq!(shards[0].actor().seen, expect(1, 7));
         assert_eq!(shards[1].actor().seen, expect(11, 6));

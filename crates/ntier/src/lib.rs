@@ -47,6 +47,7 @@ pub mod gc;
 pub mod result;
 pub mod shard;
 pub mod system;
+pub mod users;
 
 pub use class::{MixTargets, RequestClass, WorkloadMix};
 pub use config::{BurstConfig, Jdk, MsgSizes, ServerSpec, SystemConfig, BASE_MHZ};
@@ -54,4 +55,5 @@ pub use dvfs::{DvfsConfig, DvfsState, PState, PStateSample, XEON_PSTATES};
 pub use gc::{Collector, GcConfig, GcEvent};
 pub use result::{CpuSample, RunResult, ServerInfo, TxnSample};
 pub use shard::{run_sharded, ShardPlan};
-pub use system::{Ev, NTierSystem, Parent};
+pub use system::{node_metas, Ev, NTierSystem, Parent};
+pub use users::UserTable;

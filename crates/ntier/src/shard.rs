@@ -39,6 +39,18 @@
 //! Captures are merged by [`fgbd_trace::merge_shard_logs`] (timestamp
 //! order, shard-tagged connection and truth ids); scalar outputs are
 //! summed, samples k-way merged by `(time, pod)`.
+//!
+//! # Fixed cost per pod
+//!
+//! Some events fire on a timer whether or not any request is in flight;
+//! naively replicating them K× makes idle fleets cost K× the events. The
+//! simulator tracks them under the `shard.fixed_cost_events` counter and
+//! [`run_sharded`] strides the one that is pure monitoring: every pod's
+//! CPU-busy sampler runs at `K × cpu_sample_period`, so the fleet-wide
+//! sampler budget equals a single pod's. The other periodic events are
+//! model physics and stay per pod: `GovTick` is each replica's DVFS
+//! control loop, `BurstToggle` is each pod's workload modulator, and GC
+//! has no periodic walker at all (collections are allocation-driven).
 
 use fgbd_des::parallel::{Envelope, LockstepConfig, NoMsg, ShardActor};
 use fgbd_des::{run_lockstep, Dice, SimDuration, SimTime, Simulation};
@@ -111,7 +123,9 @@ impl ShardPlan {
 /// remainder: the sizes differ by at most one and sum to `users`.
 pub fn split_users(users: u32, shards: usize) -> Vec<u32> {
     let k = shards as u32;
-    (0..k).map(|i| users / k + u32::from(i < users % k)).collect()
+    (0..k)
+        .map(|i| users / k + u32::from(i < users % k))
+        .collect()
 }
 
 /// Runs `cfg` as a fleet of `plan.shards` population pods and merges the
@@ -137,6 +151,16 @@ pub fn run_sharded(cfg: SystemConfig, plan: &ShardPlan) -> RunResult {
         .map(|(pod, &share)| {
             let mut pod_cfg = cfg.clone();
             pod_cfg.users = share;
+            // Stride the fleet's fixed-cost samplers: K pods each sampling
+            // CPU busy at K× the configured period spend one pod's worth of
+            // sampler events in total, instead of K×. The schedule stays
+            // identical across pods (merge_results averages aligned
+            // samples) and K = 1 is untouched. Cumulative busy counters
+            // lose no information at a coarser cadence; only plot
+            // resolution changes. GovTick and BurstToggle stay per pod —
+            // they are model physics, not monitoring (and GC has no
+            // periodic walker at all: collections are allocation-driven).
+            pod_cfg.cpu_sample_period = cfg.cpu_sample_period * shards as u64;
             // A one-pod fleet IS the sequential system: it replays the
             // root stream byte-for-byte. Real fleets put each pod on its
             // own substream; none of those ever equals the root stream,

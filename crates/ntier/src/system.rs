@@ -31,6 +31,7 @@ use crate::config::SystemConfig;
 use crate::dvfs::{DvfsState, PStateSample};
 use crate::gc::{GcEvent, GcState};
 use crate::result::{CpuSample, RunResult, ServerInfo, TxnSample};
+use crate::users::{UserTable, NO_CLASS};
 
 /// Who is waiting for a visit's response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,14 +231,6 @@ impl Server {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct UserState {
-    txn: u64,
-    class: u16,
-    started: SimTime,
-    retries: u32,
-}
-
 /// Events of the n-tier system.
 #[derive(Debug, Clone, Copy)]
 pub enum Ev {
@@ -299,7 +292,7 @@ pub struct NTierSystem {
     servers: Vec<Server>,
     tiers: Vec<Vec<usize>>,
     node_to_server: FxHashMap<NodeId, usize>,
-    users: Vec<UserState>,
+    users: UserTable,
     conn_pools: Vec<ConnPool>,
     link_index: FxHashMap<(usize, usize), usize>,
     burst_factor: f64,
@@ -310,6 +303,10 @@ pub struct NTierSystem {
     /// accumulating in `log` (see [`NTierSystem::run_with_tap`]); the
     /// returned [`RunResult::log`] then stays empty.
     tap: Option<StreamSink>,
+    /// Like `tap`, but an arbitrary callback (see
+    /// [`NTierSystem::run_with_record_tap`]) — the hook the chunked capture
+    /// writer uses to spill records to disk without materializing a log.
+    record_tap: Option<Box<dyn FnMut(MsgRecord) + Send>>,
     txns: Vec<TxnSample>,
     gc_events: Vec<GcEvent>,
     pstate_log: Vec<PStateSample>,
@@ -325,8 +322,28 @@ pub struct NTierSystem {
 
 const CLIENT_NODE: NodeId = NodeId(0);
 const POOL_CONN_BASE: u32 = 1 << 20;
-/// Sentinel class for users who have not issued any interaction yet.
-const NO_CLASS: u16 = u16::MAX;
+
+/// The node table a run with this configuration will record: the client
+/// farm at node 0 followed by every server in topology order. Exposed so
+/// streaming capture writers — which must emit the node table before the
+/// first record arrives — can build it without constructing the system.
+pub fn node_metas(cfg: &SystemConfig) -> Vec<NodeMeta> {
+    let mut nodes = vec![NodeMeta {
+        id: CLIENT_NODE,
+        name: "clients".to_string(),
+        kind: NodeKind::Client,
+        tier: None,
+    }];
+    for spec in cfg.topology.iter().flatten() {
+        nodes.push(NodeMeta {
+            id: NodeId(nodes.len() as u16),
+            name: spec.name.clone(),
+            kind: NodeKind::Server,
+            tier: Some(spec.tier as u8),
+        });
+    }
+    nodes
+}
 
 impl NTierSystem {
     /// Builds the system from a validated configuration.
@@ -338,24 +355,14 @@ impl NTierSystem {
 
         let mut servers = Vec::new();
         let mut tiers = Vec::new();
-        let mut nodes = vec![NodeMeta {
-            id: CLIENT_NODE,
-            name: "clients".to_string(),
-            kind: NodeKind::Client,
-            tier: None,
-        }];
+        let nodes = node_metas(&cfg);
         let mut node_to_server = FxHashMap::default();
         for tier_specs in &cfg.topology {
             let mut tier_idx = Vec::new();
             for spec in tier_specs {
                 let idx = servers.len();
                 let node = NodeId((idx + 1) as u16);
-                nodes.push(NodeMeta {
-                    id: node,
-                    name: spec.name.clone(),
-                    kind: NodeKind::Server,
-                    tier: Some(spec.tier as u8),
-                });
+                debug_assert_eq!(nodes[idx + 1].id, node);
                 node_to_server.insert(node, idx);
                 servers.push(Server {
                     name: spec.name.clone(),
@@ -416,15 +423,7 @@ impl NTierSystem {
             servers,
             tiers,
             node_to_server,
-            users: vec![
-                UserState {
-                    txn: 0,
-                    class: NO_CLASS,
-                    started: SimTime::ZERO,
-                    retries: 0,
-                };
-                cfg.users as usize
-            ],
+            users: UserTable::new(cfg.users as usize),
             conn_pools,
             link_index,
             burst_factor: 1.0,
@@ -432,6 +431,7 @@ impl NTierSystem {
             next_visit: 0,
             log: TraceLog::new(nodes),
             tap: None,
+            record_tap: None,
             txns: Vec::new(),
             gc_events: Vec::new(),
             pstate_log: Vec::new(),
@@ -469,11 +469,32 @@ impl NTierSystem {
         sim.into_actor().into_result(horizon)
     }
 
+    /// Like [`NTierSystem::run`], but every capture record is handed to
+    /// `tap` instead of being materialized in [`RunResult::log`] (which
+    /// comes back empty). Unlike [`NTierSystem::run_with_tap`] the callback
+    /// runs inline on the simulation thread — it is the hook for writers
+    /// that must observe records in strict capture order with no channel in
+    /// between, e.g. the chunked capture writer spilling a million-user run
+    /// to disk in flat memory.
+    pub fn run_with_record_tap(
+        cfg: SystemConfig,
+        tap: impl FnMut(MsgRecord) + Send + 'static,
+    ) -> RunResult {
+        let horizon = SimTime::ZERO + cfg.warmup + cfg.duration;
+        let mut system = NTierSystem::new(cfg);
+        system.record_tap = Some(Box::new(tap));
+        let mut sim = Simulation::new(system);
+        sim.prime(SimTime::ZERO, Ev::Boot);
+        sim.run_until(horizon);
+        sim.into_actor().into_result(horizon)
+    }
+
     /// Finalizes the run outputs.
     pub fn into_result(mut self, horizon: SimTime) -> RunResult {
         // End the record stream first: the tap's drop flushes its last
         // partial chunk and closes the channel.
         self.tap = None;
+        self.record_tap = None;
         RunResult {
             servers: self
                 .servers
@@ -519,7 +540,7 @@ impl NTierSystem {
         // distribution identical to the mix weights.
         let p = self.cfg.session_stickiness;
         if p > 0.0 && self.workload_dice.chance(p) {
-            let prev = self.users[user as usize].class;
+            let prev = self.users.class(user);
             // NO_CLASS marks a user with no previous interaction.
             if prev != NO_CLASS && self.class_weights[usize::from(prev)] > 0.0 {
                 return prev;
@@ -649,9 +670,10 @@ impl NTierSystem {
                 bytes,
                 truth: Some(TxnId(txn)),
             };
-            match &mut self.tap {
-                Some(tap) => tap.push(rec),
-                None => self.log.push(rec),
+            match (&mut self.tap, &mut self.record_tap) {
+                (Some(tap), _) => tap.push(rec),
+                (None, Some(f)) => f(rec),
+                (None, None) => self.log.push(rec),
             }
         }
     }
@@ -806,7 +828,7 @@ impl NTierSystem {
                     unreachable!()
                 };
                 self.retransmissions += 1;
-                self.users[u as usize].retries += 1;
+                self.users.bump_retries(u);
                 sched.after(self.cfg.retrans_timeout, Ev::Retry(u));
                 return;
             }
@@ -869,22 +891,17 @@ impl NTierSystem {
         let txn = self.next_txn;
         self.next_txn += 1;
         let class = self.sample_class(user);
-        self.users[user as usize] = UserState {
-            txn,
-            class,
-            started: now,
-            retries: 0,
-        };
+        self.users.start(user, txn, class, now);
         self.send_to_web(user, sched);
     }
 
     fn send_to_web(&mut self, user: u32, sched: &mut Scheduler<Ev>) {
-        let st = self.users[user as usize];
+        let txn = self.users.txn(user);
         let web_tier = &self.tiers[0];
-        let target = web_tier[(st.txn as usize) % web_tier.len()];
+        let target = web_tier[(txn as usize) % web_tier.len()];
         let req = NewRequest {
-            txn: st.txn,
-            class: st.class,
+            txn,
+            class: self.users.class(user),
             parent: Parent::User(user),
             conn: user,
         };
@@ -961,13 +978,12 @@ impl Actor for NTierSystem {
                 self.reschedule_cpu(now, server, sched);
             }
             Ev::ClientResp(u) => {
-                let st = self.users[u as usize];
                 self.txns.push(TxnSample {
                     user: u,
-                    class: st.class,
-                    started: st.started,
+                    class: self.users.class(u),
+                    started: self.users.started(u),
                     finished: now,
-                    retries: st.retries,
+                    retries: self.users.retries(u),
                 });
                 let d = self.think_delay();
                 sched.after(d, Ev::Think(u));
@@ -1055,6 +1071,10 @@ impl Actor for NTierSystem {
                 self.reschedule_cpu(now, server, sched);
             }
             Ev::GovTick(server) => {
+                // Fixed-cost ledger: governor ticks fire per pod whether or
+                // not any request is in flight (control-loop physics — they
+                // cannot be strided without changing the DVFS model).
+                fgbd_obsv::counter!("shard.fixed_cost_events", 1);
                 let busy = self.servers[server].busy_core_seconds(now);
                 let cores = self.servers[server].cores;
                 let Some(dvfs) = &mut self.servers[server].dvfs else {
@@ -1077,6 +1097,10 @@ impl Actor for NTierSystem {
                 }
             }
             Ev::CpuSample => {
+                // Fixed-cost ledger: sampler walks fire regardless of load.
+                // Sharded runs stride this schedule (see `crate::shard`) so
+                // the fleet-wide count stays flat in the pod count.
+                fgbd_obsv::counter!("shard.fixed_cost_events", 1);
                 for s in 0..self.servers.len() {
                     let busy = self.servers[s].busy_core_seconds(now);
                     self.cpu_busy[s].push(CpuSample {
@@ -1087,6 +1111,9 @@ impl Actor for NTierSystem {
                 sched.after(self.cfg.cpu_sample_period, Ev::CpuSample);
             }
             Ev::BurstToggle => {
+                // Fixed-cost ledger: the burst modulator is workload
+                // physics and flips per pod, like GovTick.
+                fgbd_obsv::counter!("shard.fixed_cost_events", 1);
                 if self.burst_factor == 1.0 {
                     self.burst_factor = self.burst_dice.bounded_pareto(
                         self.cfg.burst.factor_alpha,

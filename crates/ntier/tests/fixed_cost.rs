@@ -1,0 +1,52 @@
+//! Fleet fixed-cost accounting: periodic events that fire regardless of
+//! load are tracked under `shard.fixed_cost_events`, and the sharded
+//! runner strides the CPU-busy sampler so the fleet-wide sampler budget
+//! does not grow with the pod count.
+//!
+//! Lives in its own integration-test binary: the counter registry is
+//! process-global and these assertions need exclusive deltas.
+
+use fgbd_ntier::config::{BurstConfig, Jdk, SystemConfig};
+use fgbd_ntier::shard::{run_sharded, ShardPlan};
+
+fn quiet_cfg(seed: u64) -> SystemConfig {
+    // No DVFS (speedstep off) and no burst modulator: the only periodic
+    // fixed-cost event left is the CPU-busy sampler, which is exactly the
+    // one run_sharded strides.
+    let mut cfg = SystemConfig::paper_1l2s1l2s(40, Jdk::Jdk16, false, seed);
+    cfg.burst = BurstConfig::disabled();
+    cfg.warmup = fgbd_des::SimDuration::from_secs(1);
+    cfg.duration = fgbd_des::SimDuration::from_secs(9);
+    cfg.capture = false;
+    cfg
+}
+
+fn fixed_cost_of(shards: usize) -> u64 {
+    let before = fgbd_obsv::metrics::snapshot();
+    run_sharded(quiet_cfg(7), &ShardPlan::new(shards));
+    let delta = fgbd_obsv::metrics::snapshot().delta(&before);
+    delta
+        .counters
+        .get("shard.fixed_cost_events")
+        .copied()
+        .unwrap_or(0)
+}
+
+#[test]
+fn strided_sampling_keeps_fleet_fixed_cost_flat() {
+    // Run sequentially within one test: the counter registry is shared.
+    let one_pod = fixed_cost_of(1);
+    let four_pods = fixed_cost_of(4);
+    assert!(one_pod > 0, "the sampler must tick at least once");
+    // Without striding a 4-pod fleet fires ~4× the sampler events; with
+    // it, each pod samples at 4× the period, so the fleet total matches a
+    // single pod's (±1 per pod for horizon-edge ticks).
+    assert!(
+        four_pods <= one_pod + 4,
+        "fleet fixed cost grew with the pod count: 1 pod = {one_pod}, 4 pods = {four_pods}"
+    );
+    assert!(
+        four_pods >= one_pod / 2,
+        "striding overshot: 1 pod = {one_pod}, 4 pods = {four_pods}"
+    );
+}

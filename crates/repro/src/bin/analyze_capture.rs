@@ -12,13 +12,16 @@
 
 use std::fs::File;
 use std::io::BufReader;
+use std::path::Path;
 
 use fgbd_core::detect::{analyze_server, rank_bottlenecks, DetectorConfig};
 use fgbd_core::series::Window;
 use fgbd_des::{SimDuration, SimTime};
 use fgbd_obsv::json::Json;
 use fgbd_repro::pipeline::{Calibration, WORK_UNIT_RESOLUTION};
-use fgbd_trace::{read_capture, read_capture_tapped, NodeKind, SpanSet, SpanStream, StreamConfig};
+use fgbd_trace::{
+    read_capture_file, read_capture_tapped, NodeKind, SpanSet, SpanStream, StreamConfig,
+};
 
 fn main() {
     let args = fgbd_repro::harness::parse_std_flags();
@@ -36,12 +39,13 @@ fn main() {
     scope.field("interval_ms", Json::Num(interval_ms as f64));
     let _root = fgbd_obsv::span::enter("analyze_capture");
 
-    let file = File::open(path).expect("open capture file");
     // Streaming front-end: overlap file decode with online span
-    // extraction. The batch fallback (FGBD_STREAM=0) decodes first and
-    // extracts afterwards — bit-identical spans either way.
+    // extraction. The batch fallback (FGBD_STREAM=0) decodes first —
+    // fanning chunked captures across FGBD_CAPTURE_THREADS workers — and
+    // extracts afterwards. Bit-identical spans either way.
     let (log, spans) = match StreamConfig::from_env() {
         Some(stream_cfg) => {
+            let file = File::open(path).expect("open capture file");
             let (stream, mut sink) = SpanStream::start(&stream_cfg);
             let log = read_capture_tapped(BufReader::new(file), |rec| sink.push(rec))
                 .expect("parse capture");
@@ -53,7 +57,7 @@ fn main() {
             (log, spans)
         }
         None => {
-            let log = read_capture(BufReader::new(file)).expect("parse capture");
+            let log = read_capture_file(Path::new(path)).expect("parse capture");
             let spans = SpanSet::extract(&log);
             (log, spans)
         }

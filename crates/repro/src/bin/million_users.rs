@@ -1,0 +1,123 @@
+//! Million-user smoke run: simulates a `users: 10^6` closed-loop
+//! population and spills its capture straight to a chunked `FGBDCAP2`
+//! file, proving the two memory claims of the scale work at once —
+//! the SoA user table costs a flat 20 bytes per user, and the record tap
+//! plus chunked writer keep the capture out of memory entirely (at most
+//! one encode buffer of `FGBD_CAPTURE_CHUNK` records is ever resident).
+//!
+//! ```bash
+//! cargo run -p fgbd-repro --release --bin million_users -- \
+//!     [users] [seconds] [out.fgbdcap] [--quiet]
+//! ```
+//!
+//! Defaults: 1,000,000 users, 10 s, `target/experiments/million.fgbdcap`.
+//! Prints records written, throughput, and the process peak RSS (`VmHWM`)
+//! so a sweep over `users` can show memory stays flat. A run manifest is
+//! written to `out/manifests/million_users.*`.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fgbd_des::SimDuration;
+use fgbd_ntier::config::{Jdk, SystemConfig};
+use fgbd_ntier::system::NTierSystem;
+use fgbd_obsv::json::Json;
+use fgbd_repro::report::out_dir;
+use fgbd_repro::scenario::MASTER_SEED;
+use fgbd_trace::ChunkedWriter;
+
+/// Peak resident set size of this process in KiB, from the kernel's
+/// `VmHWM` accounting. `None` off Linux or if `/proc` is unavailable.
+fn vm_hwm_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    let args = fgbd_repro::harness::parse_std_flags();
+    let users: u32 = args
+        .first()
+        .map_or(Ok(1_000_000), |s| s.parse())
+        .expect("users must be a number");
+    let secs: u64 = args
+        .get(1)
+        .map_or(Ok(10), |s| s.parse())
+        .expect("seconds must be a number");
+    let path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| out_dir().join("million.fgbdcap").display().to_string());
+
+    let mut scope = fgbd_repro::harness::begin("million_users");
+    scope.field("users", Json::Num(f64::from(users)));
+    scope.field("seconds", Json::Num(secs as f64));
+
+    let mut cfg = SystemConfig::paper_1l2s1l2s(users, Jdk::Jdk16, false, MASTER_SEED);
+    cfg.duration = SimDuration::from_secs(secs);
+    // The scenario default is a 30 s steady-state warmup — right for the
+    // paper's measurements, pointless for a memory smoke, and at 10^6 users
+    // it multiplies wall time by an order of magnitude. One second is
+    // enough to get every user scheduled and the tap warm.
+    cfg.warmup = SimDuration::from_secs(1);
+
+    // The chunked format needs the node table before the first record, and
+    // the writer must outlive the tap closure so the footer can be sealed
+    // after the run — hence the shared slot the closure pushes through.
+    let nodes = fgbd_ntier::node_metas(&cfg);
+    let file = File::create(&path).expect("create capture file");
+    let writer = ChunkedWriter::new(BufWriter::new(file), &nodes).expect("start capture");
+    let writer = Arc::new(Mutex::new(Some(writer)));
+    let records = Arc::new(AtomicU64::new(0));
+
+    fgbd_obsv::log!(
+        "million_users",
+        "simulating {users} users for {secs}s, streaming capture to {path} ..."
+    );
+    let run = {
+        fgbd_obsv::span!("million_users");
+        let sink = Arc::clone(&writer);
+        let count = Arc::clone(&records);
+        NTierSystem::run_with_record_tap(cfg, move |rec| {
+            count.fetch_add(1, Ordering::Relaxed);
+            sink.lock()
+                .expect("capture writer lock")
+                .as_mut()
+                .expect("capture writer live during the run")
+                .push(rec)
+                .expect("write capture record");
+        })
+    };
+    let writer = writer
+        .lock()
+        .expect("capture writer lock")
+        .take()
+        .expect("capture writer still present");
+    writer.finish().expect("finish capture");
+
+    let records = records.load(Ordering::Relaxed);
+    fgbd_obsv::log!(
+        "million_users",
+        "  {records} records streamed, throughput {:.0} tx/s",
+        run.throughput()
+    );
+    assert!(
+        run.log.records.is_empty(),
+        "tapped run must not materialize a log"
+    );
+    scope.field("records", Json::Num(records as f64));
+    scope.field("throughput", Json::Num(run.throughput()));
+    if let Some(kib) = vm_hwm_kib() {
+        fgbd_obsv::log!(
+            "million_users",
+            "  peak RSS {:.1} MiB (VmHWM)",
+            kib as f64 / 1024.0
+        );
+        scope.field("vm_hwm_kib", Json::Num(kib as f64));
+    }
+    scope.artifact(&path);
+    scope.finish();
+    fgbd_obsv::log!("million_users", "wrote {path}");
+}

@@ -10,6 +10,11 @@
 //! `gc_jdk16` (default `gc_jdk15`); defaults: 6,000 users, 30 s,
 //! `target/experiments/capture.fgbdcap`. A run manifest is written to
 //! `out/manifests/record_capture.*`.
+//!
+//! `FGBD_CAPTURE_FORMAT=2` writes the chunked columnar `FGBDCAP2` format
+//! (parallel-readable, time-range-pruneable, smaller on disk); the default
+//! is the flat `FGBDCAP1` reference format. Every reader sniffs the magic,
+//! so downstream tools accept either.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -18,7 +23,7 @@ use fgbd_des::SimDuration;
 use fgbd_obsv::json::Json;
 use fgbd_repro::report::out_dir;
 use fgbd_repro::{Scenario, GC_JDK15, GC_JDK16, SPEEDSTEP_OFF, SPEEDSTEP_ON};
-use fgbd_trace::write_capture;
+use fgbd_trace::{write_capture, write_capture2};
 
 fn scenario_by_name(name: &str) -> Option<Scenario> {
     match name {
@@ -52,10 +57,13 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| out_dir().join("capture.fgbdcap").display().to_string());
 
+    let format = fgbd_trace::capture2::format_from_env();
+
     let mut scope = fgbd_repro::harness::begin("record_capture");
     scope.field("scenario", Json::Str(scenario_name.to_string()));
     scope.field("users", Json::Num(f64::from(users)));
     scope.field("seconds", Json::Num(secs as f64));
+    scope.field("format", Json::Num(f64::from(format)));
 
     fgbd_obsv::log!(
         "record_capture",
@@ -69,12 +77,17 @@ fn main() {
         // CI byte-compares captures across worker counts through here.
         let run = fgbd_repro::simulate(cfg);
         let file = File::create(&path).expect("create capture file");
-        write_capture(BufWriter::new(file), &run.log).expect("write capture");
+        let w = BufWriter::new(file);
+        if format == 2 {
+            write_capture2(w, &run.log).expect("write capture");
+        } else {
+            write_capture(w, &run.log).expect("write capture");
+        }
         run
     };
     fgbd_obsv::log!(
         "record_capture",
-        "  {} messages captured, throughput {:.0} tx/s",
+        "  {} messages captured (FGBDCAP{format}), throughput {:.0} tx/s",
         run.log.records.len(),
         run.throughput()
     );

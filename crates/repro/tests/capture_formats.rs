@@ -1,0 +1,76 @@
+//! End-to-end proof that the chunked `FGBDCAP2` capture path is a pure
+//! re-encoding of the batch pipeline: streaming a run's records through
+//! [`fgbd_trace::ChunkedWriter`] via the inline record tap and reading the
+//! file back yields exactly the log the batch simulator materializes at
+//! the same seed and config — same nodes, same records, and an empty
+//! in-memory log on the tapped side (nothing was double-buffered).
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use fgbd_des::SimDuration;
+use fgbd_ntier::config::{BurstConfig, Jdk, SystemConfig};
+use fgbd_ntier::system::NTierSystem;
+use fgbd_trace::{read_capture_file, ChunkedWriter};
+
+fn smoke_cfg(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_1l2s1l2s(60, Jdk::Jdk16, false, seed);
+    cfg.burst = BurstConfig::disabled();
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.duration = SimDuration::from_secs(9);
+    cfg
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fgbd_{name}_{}.fgbdcap", std::process::id()))
+}
+
+#[test]
+fn tapped_chunked_capture_equals_batch_log() {
+    let seed = 0xC2_2013_0708;
+    let batch = NTierSystem::run(smoke_cfg(seed));
+    assert!(
+        !batch.log.records.is_empty(),
+        "the batch run must capture records"
+    );
+
+    let path = temp_path("tap_roundtrip");
+    // A tiny chunk size forces many chunks (headers, footer index, and the
+    // flush path all get exercised), not just one big one.
+    let nodes = fgbd_ntier::node_metas(&smoke_cfg(seed));
+    let file = File::create(&path).expect("create capture file");
+    let writer = ChunkedWriter::with_chunk_records(BufWriter::new(file), &nodes, 512)
+        .expect("start capture");
+    let writer = Arc::new(Mutex::new(Some(writer)));
+    let sink = Arc::clone(&writer);
+    let tapped = NTierSystem::run_with_record_tap(smoke_cfg(seed), move |rec| {
+        sink.lock()
+            .expect("writer lock")
+            .as_mut()
+            .expect("writer live during the run")
+            .push(rec)
+            .expect("write record");
+    });
+    writer
+        .lock()
+        .expect("writer lock")
+        .take()
+        .expect("writer still present")
+        .finish()
+        .expect("seal capture");
+
+    assert!(
+        tapped.log.records.is_empty(),
+        "the tapped run must not materialize a log"
+    );
+    // Everything except the capture transport is unchanged.
+    assert_eq!(batch.txns, tapped.txns);
+    assert_eq!(batch.cpu_busy, tapped.cpu_busy);
+
+    let reread = read_capture_file(&path).expect("read chunked capture");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(batch.log.nodes, reread.nodes);
+    assert_eq!(batch.log.records, reread.records);
+}

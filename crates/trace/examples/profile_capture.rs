@@ -1,0 +1,106 @@
+//! Quick wall-clock comparison of the two capture decoders on the bench
+//! fixture — handy when tuning `capture2` without a full Criterion run:
+//!
+//! ```bash
+//! cargo run -p fgbd-trace --release --example profile_capture
+//! ```
+
+use std::time::Instant;
+
+use fgbd_des::SimTime;
+use fgbd_trace::{
+    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, TraceLog, TxnId,
+};
+
+fn fixture() -> TraceLog {
+    let mut log = TraceLog::new(vec![
+        NodeMeta {
+            id: NodeId(0),
+            name: "clients".into(),
+            kind: NodeKind::Client,
+            tier: None,
+        },
+        NodeMeta {
+            id: NodeId(1),
+            name: "web-1".into(),
+            kind: NodeKind::Server,
+            tier: Some(0),
+        },
+    ]);
+    for i in 0..200_000u64 {
+        log.push(MsgRecord {
+            at: SimTime::from_micros(i * 3),
+            src: NodeId((i % 2) as u16),
+            dst: NodeId(((i + 1) % 2) as u16),
+            kind: if i % 2 == 0 {
+                MsgKind::Request
+            } else {
+                MsgKind::Response
+            },
+            conn: ConnId((i % 512) as u32),
+            class: ClassId((i % 24) as u16),
+            bytes: 512,
+            truth: Some(TxnId(i / 2)),
+        });
+    }
+    log
+}
+
+fn time(label: &str, iters: u32, mut f: impl FnMut()) {
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    println!(
+        "{label:<24} {:>8.2} ms/iter",
+        t.elapsed().as_secs_f64() * 1000.0 / f64::from(iters)
+    );
+}
+
+fn main() {
+    let log = fixture();
+    let mut flat = Vec::new();
+    fgbd_trace::capture::write_capture(&mut flat, &log).unwrap();
+    let mut chunked = Vec::new();
+    fgbd_trace::write_capture2(&mut chunked, &log).unwrap();
+    let chunk_records: usize = std::env::var("PROFILE_CHUNK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if chunk_records > 0 {
+        let mut buf = Vec::new();
+        let mut w =
+            fgbd_trace::ChunkedWriter::with_chunk_records(&mut buf, &log.nodes, chunk_records)
+                .unwrap();
+        for r in &log.records {
+            w.push(*r).unwrap();
+        }
+        w.finish().unwrap();
+        chunked = buf;
+        println!("(re-encoded at {chunk_records} records/chunk)");
+    }
+    println!(
+        "flat {} B, chunked {} B ({:.2}x)",
+        flat.len(),
+        chunked.len(),
+        chunked.len() as f64 / flat.len() as f64
+    );
+    for _ in 0..3 {
+        time("flat read", 20, || {
+            std::hint::black_box(fgbd_trace::capture::read_capture(flat.as_slice()).unwrap());
+        });
+        time("flat write", 20, || {
+            let mut buf = Vec::with_capacity(flat.len());
+            fgbd_trace::capture::write_capture(&mut buf, std::hint::black_box(&log)).unwrap();
+            std::hint::black_box(buf);
+        });
+        time("chunked read t1", 20, || {
+            std::hint::black_box(fgbd_trace::read_capture2_parallel(&chunked, 1).unwrap());
+        });
+        time("chunked write", 20, || {
+            let mut buf = Vec::with_capacity(chunked.len());
+            fgbd_trace::write_capture2(&mut buf, std::hint::black_box(&log)).unwrap();
+            std::hint::black_box(buf);
+        });
+    }
+}

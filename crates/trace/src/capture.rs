@@ -19,9 +19,15 @@
 //! Readers reject unknown magics and truncated inputs with
 //! [`CaptureError`]; writers stream, so memory stays flat regardless of
 //! capture size.
+//!
+//! A second, chunked columnar format (`FGBDCAP2`, see [`crate::capture2`])
+//! shares the node-table encoding and the reader entry points below:
+//! [`read_capture`] / [`read_capture_tapped`] sniff the magic and decode
+//! either format, so every consumer of `.fgbdcap` files accepts both.
 
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 use fgbd_des::SimTime;
 
@@ -29,7 +35,7 @@ use crate::record::{
     ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, TraceLog, TxnId,
 };
 
-const MAGIC: &[u8; 8] = b"FGBDCAP1";
+pub(crate) const MAGIC: &[u8; 8] = b"FGBDCAP1";
 const NO_TIER: u8 = 0xFF;
 const NO_TRUTH: u64 = u64::MAX;
 
@@ -42,6 +48,15 @@ pub enum CaptureError {
     BadMagic([u8; 8]),
     /// The input ended mid-structure or contains an invalid field.
     Malformed(&'static str),
+    /// A specific chunk of an `FGBDCAP2` capture failed validation; the
+    /// index pinpoints the damage so multi-GB captures do not have to be
+    /// bisected by hand.
+    Chunk {
+        /// Zero-based index of the failing chunk within the capture.
+        index: u32,
+        /// What failed inside that chunk.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CaptureError {
@@ -50,6 +65,9 @@ impl fmt::Display for CaptureError {
             CaptureError::Io(e) => write!(f, "capture i/o error: {e}"),
             CaptureError::BadMagic(m) => write!(f, "not a capture file (magic {m:02x?})"),
             CaptureError::Malformed(what) => write!(f, "malformed capture: {what}"),
+            CaptureError::Chunk { index, what } => {
+                write!(f, "malformed capture chunk {index}: {what}")
+            }
         }
     }
 }
@@ -85,18 +103,7 @@ impl From<io::Error> for CaptureError {
 /// Returns [`CaptureError::Io`] on underlying write failures.
 pub fn write_capture<W: Write>(mut w: W, log: &TraceLog) -> Result<(), CaptureError> {
     w.write_all(MAGIC)?;
-    w.write_all(&(log.nodes.len() as u32).to_le_bytes())?;
-    for n in &log.nodes {
-        w.write_all(&n.id.0.to_le_bytes())?;
-        w.write_all(&[match n.kind {
-            NodeKind::Client => 0u8,
-            NodeKind::Server => 1u8,
-        }])?;
-        w.write_all(&[n.tier.unwrap_or(NO_TIER)])?;
-        let name = n.name.as_bytes();
-        w.write_all(&(name.len() as u16).to_le_bytes())?;
-        w.write_all(name)?;
-    }
+    write_node_table(&mut w, &log.nodes)?;
     w.write_all(&(log.records.len() as u64).to_le_bytes())?;
     for r in &log.records {
         w.write_all(&r.at.as_micros().to_le_bytes())?;
@@ -114,14 +121,88 @@ pub fn write_capture<W: Write>(mut w: W, log: &TraceLog) -> Result<(), CaptureEr
     Ok(())
 }
 
-/// Reads a capture stream back into a [`TraceLog`].
+/// Writes the node table — shared verbatim by both capture formats, so a
+/// format upgrade never changes how topology metadata is encoded.
+pub(crate) fn write_node_table<W: Write>(
+    w: &mut W,
+    nodes: &[NodeMeta],
+) -> Result<(), CaptureError> {
+    w.write_all(&(nodes.len() as u32).to_le_bytes())?;
+    for n in nodes {
+        w.write_all(&n.id.0.to_le_bytes())?;
+        w.write_all(&[match n.kind {
+            NodeKind::Client => 0u8,
+            NodeKind::Server => 1u8,
+        }])?;
+        w.write_all(&[n.tier.unwrap_or(NO_TIER)])?;
+        let name = n.name.as_bytes();
+        w.write_all(&(name.len() as u16).to_le_bytes())?;
+        w.write_all(name)?;
+    }
+    Ok(())
+}
+
+/// Reads the node table (see [`write_node_table`]).
+pub(crate) fn read_node_table<R: Read>(r: &mut R) -> Result<Vec<NodeMeta>, CaptureError> {
+    let n_nodes = read_u32(r)? as usize;
+    if n_nodes > u16::MAX as usize + 1 {
+        return Err(CaptureError::Malformed("implausible node count"));
+    }
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let id = NodeId(read_u16(r)?);
+        let kind = match read_u8(r)? {
+            0 => NodeKind::Client,
+            1 => NodeKind::Server,
+            _ => return Err(CaptureError::Malformed("unknown node kind")),
+        };
+        let tier = match read_u8(r)? {
+            NO_TIER => None,
+            t => Some(t),
+        };
+        let name_len = read_u16(r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name =
+            String::from_utf8(name).map_err(|_| CaptureError::Malformed("non-UTF-8 name"))?;
+        nodes.push(NodeMeta {
+            id,
+            name,
+            kind,
+            tier,
+        });
+    }
+    Ok(nodes)
+}
+
+/// Reads a capture stream back into a [`TraceLog`]. Accepts both formats
+/// (`FGBDCAP1` and the chunked columnar `FGBDCAP2`) by sniffing the magic.
 ///
 /// # Errors
 ///
 /// Returns [`CaptureError::BadMagic`] for foreign inputs and
-/// [`CaptureError::Malformed`] for truncated or invalid ones.
+/// [`CaptureError::Malformed`] / [`CaptureError::Chunk`] for truncated or
+/// invalid ones.
 pub fn read_capture<R: Read>(r: R) -> Result<TraceLog, CaptureError> {
     read_capture_tapped(r, |_| {})
+}
+
+/// Reads a capture file, using the parallel chunk decoder for `FGBDCAP2`
+/// inputs when `FGBD_CAPTURE_THREADS` (or the host parallelism) allows —
+/// the fastest way to materialize a whole capture. The decoded log is
+/// identical to [`read_capture`]'s, byte for byte, at every thread count.
+///
+/// # Errors
+///
+/// Propagates [`CaptureError::Io`] for filesystem failures plus everything
+/// [`read_capture`] can return.
+pub fn read_capture_file(path: &Path) -> Result<TraceLog, CaptureError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() >= 8 && &bytes[..8] == crate::capture2::MAGIC2 {
+        crate::capture2::read_capture2_parallel(&bytes, crate::capture2::threads_from_env())
+    } else {
+        read_capture(bytes.as_slice())
+    }
 }
 
 /// Reads a capture stream while forwarding every decoded record to `tap`,
@@ -144,97 +225,80 @@ pub fn read_capture_tapped<R: Read>(
 ) -> Result<TraceLog, CaptureError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
+    if &magic == crate::capture2::MAGIC2 {
+        return crate::capture2::read_capture2_tapped_after_magic(r, tap);
+    }
     if &magic != MAGIC {
         return Err(CaptureError::BadMagic(magic));
     }
-    let n_nodes = read_u32(&mut r)? as usize;
-    if n_nodes > u16::MAX as usize + 1 {
-        return Err(CaptureError::Malformed("implausible node count"));
-    }
-    let mut nodes = Vec::with_capacity(n_nodes);
-    for _ in 0..n_nodes {
-        let id = NodeId(read_u16(&mut r)?);
-        let kind = match read_u8(&mut r)? {
-            0 => NodeKind::Client,
-            1 => NodeKind::Server,
-            _ => return Err(CaptureError::Malformed("unknown node kind")),
-        };
-        let tier = match read_u8(&mut r)? {
-            NO_TIER => None,
-            t => Some(t),
-        };
-        let name_len = read_u16(&mut r)? as usize;
-        let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name =
-            String::from_utf8(name).map_err(|_| CaptureError::Malformed("non-UTF-8 name"))?;
-        nodes.push(NodeMeta {
-            id,
-            name,
-            kind,
-            tier,
-        });
-    }
+    let nodes = read_node_table(&mut r)?;
     let n_records = read_u64(&mut r)?;
     let mut log = TraceLog::new(nodes);
     log.records
         .reserve(usize::try_from(n_records).unwrap_or(0).min(1 << 28));
     let mut prev = SimTime::ZERO;
     for _ in 0..n_records {
-        let at = SimTime::from_micros(read_u64(&mut r)?);
-        if at < prev {
-            return Err(CaptureError::Malformed("records out of order"));
-        }
-        prev = at;
-        let src = NodeId(read_u16(&mut r)?);
-        let dst = NodeId(read_u16(&mut r)?);
-        let kind = match read_u8(&mut r)? {
-            0 => MsgKind::Request,
-            1 => MsgKind::Response,
-            _ => return Err(CaptureError::Malformed("unknown message kind")),
-        };
-        let conn = ConnId(read_u32(&mut r)?);
-        let class = ClassId(read_u16(&mut r)?);
-        let bytes = read_u32(&mut r)?;
-        let truth = match read_u64(&mut r)? {
-            NO_TRUTH => None,
-            t => Some(TxnId(t)),
-        };
-        let rec = MsgRecord {
-            at,
-            src,
-            dst,
-            kind,
-            conn,
-            class,
-            bytes,
-            truth,
-        };
+        let rec = read_record_v1(&mut r, prev)?;
+        prev = rec.at;
         tap(rec);
         log.records.push(rec);
     }
     Ok(log)
 }
 
-fn read_u8<R: Read>(r: &mut R) -> Result<u8, CaptureError> {
+/// Decodes one flat-format record, enforcing time order against `prev` —
+/// shared by [`read_capture_tapped`] and the dual-format chunk iterator in
+/// [`crate::capture2`].
+pub(crate) fn read_record_v1<R: Read>(r: &mut R, prev: SimTime) -> Result<MsgRecord, CaptureError> {
+    let at = SimTime::from_micros(read_u64(r)?);
+    if at < prev {
+        return Err(CaptureError::Malformed("records out of order"));
+    }
+    let src = NodeId(read_u16(r)?);
+    let dst = NodeId(read_u16(r)?);
+    let kind = match read_u8(r)? {
+        0 => MsgKind::Request,
+        1 => MsgKind::Response,
+        _ => return Err(CaptureError::Malformed("unknown message kind")),
+    };
+    let conn = ConnId(read_u32(r)?);
+    let class = ClassId(read_u16(r)?);
+    let bytes = read_u32(r)?;
+    let truth = match read_u64(r)? {
+        NO_TRUTH => None,
+        t => Some(TxnId(t)),
+    };
+    Ok(MsgRecord {
+        at,
+        src,
+        dst,
+        kind,
+        conn,
+        class,
+        bytes,
+        truth,
+    })
+}
+
+pub(crate) fn read_u8<R: Read>(r: &mut R) -> Result<u8, CaptureError> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
     Ok(b[0])
 }
 
-fn read_u16<R: Read>(r: &mut R) -> Result<u16, CaptureError> {
+pub(crate) fn read_u16<R: Read>(r: &mut R) -> Result<u16, CaptureError> {
     let mut b = [0u8; 2];
     r.read_exact(&mut b)?;
     Ok(u16::from_le_bytes(b))
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, CaptureError> {
+pub(crate) fn read_u32<R: Read>(r: &mut R) -> Result<u32, CaptureError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, CaptureError> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64, CaptureError> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))

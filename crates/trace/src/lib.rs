@@ -50,6 +50,7 @@
 //! ```
 
 pub mod capture;
+pub mod capture2;
 pub mod merge;
 pub mod reconstruct;
 pub mod record;
@@ -57,7 +58,12 @@ pub mod servicetime;
 pub mod span;
 pub mod stream;
 
-pub use capture::{read_capture, read_capture_tapped, write_capture, CaptureError};
+pub use capture::{
+    read_capture, read_capture_file, read_capture_tapped, write_capture, CaptureError,
+};
+pub use capture2::{
+    read_capture2_parallel, read_capture2_range, write_capture2, CaptureChunks, ChunkedWriter,
+};
 pub use merge::merge_shard_logs;
 pub use record::{
     ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, TraceLog, TxnId,

@@ -19,6 +19,9 @@
 //! topology); the merged log keeps a single copy, so per-server analysis
 //! aggregates all replicas of a logical server.
 
+use std::path::Path;
+
+use crate::capture::CaptureError;
 use crate::record::{ConnId, TraceLog, TxnId};
 
 /// Bit position of the shard tag within a merged [`ConnId`]; shard-local
@@ -56,7 +59,9 @@ pub fn merge_shard_logs(shards: Vec<TraceLog>) -> TraceLog {
     );
 
     let mut merged = TraceLog::new(first.nodes.clone());
-    merged.records.reserve(shards.iter().map(|s| s.records.len()).sum());
+    merged
+        .records
+        .reserve(shards.iter().map(|s| s.records.len()).sum());
 
     // K is tiny (≤ 15), so a linear scan over the shard cursors beats a
     // heap; ties on timestamp break toward the lower shard index.
@@ -91,6 +96,25 @@ pub fn merge_shard_logs(shards: Vec<TraceLog>) -> TraceLog {
     }
     fgbd_obsv::counter!("trace.merged_shard_records", merged.records.len() as u64);
     merged
+}
+
+/// Reads per-shard capture files — flat `FGBDCAP1` and chunked `FGBDCAP2`
+/// inputs mix freely, each sniffed by magic — and merges them with
+/// [`merge_shard_logs`]. Chunked inputs decode with the parallel reader.
+///
+/// # Errors
+///
+/// Propagates the first [`CaptureError`] from any input file.
+///
+/// # Panics
+///
+/// Panics on the same invariant violations as [`merge_shard_logs`].
+pub fn merge_capture_files<P: AsRef<Path>>(paths: &[P]) -> Result<TraceLog, CaptureError> {
+    let shards = paths
+        .iter()
+        .map(|p| crate::capture::read_capture_file(p.as_ref()))
+        .collect::<Result<Vec<TraceLog>, CaptureError>>()?;
+    Ok(merge_shard_logs(shards))
 }
 
 #[cfg(test)]
@@ -175,6 +199,24 @@ mod tests {
     fn empty_input_gives_empty_log() {
         let merged = merge_shard_logs(Vec::new());
         assert!(merged.nodes.is_empty() && merged.records.is_empty());
+    }
+
+    #[test]
+    fn merge_capture_files_mixes_formats() {
+        let a = log_of(vec![rec(10, 1, 1), rec(30, 1, 2)]);
+        let b = log_of(vec![rec(20, 2, 3)]);
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let pa = dir.join(format!("fgbd_merge_v1_{pid}.fgbdcap"));
+        let pb = dir.join(format!("fgbd_merge_v2_{pid}.fgbdcap"));
+        crate::capture::write_capture(std::fs::File::create(&pa).unwrap(), &a).unwrap();
+        crate::capture2::write_capture2(std::fs::File::create(&pb).unwrap(), &b).unwrap();
+        let merged = merge_capture_files(&[&pa, &pb]).unwrap();
+        let _ = std::fs::remove_file(&pa);
+        let _ = std::fs::remove_file(&pb);
+        let expected = merge_shard_logs(vec![a, b]);
+        assert_eq!(merged.records, expected.records);
+        assert_eq!(merged.nodes, expected.nodes);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property-based tests for span extraction and black-box reconstruction.
 
 use fgbd_des::SimTime;
-use fgbd_trace::capture::{read_capture, write_capture};
+use fgbd_trace::capture::{read_capture, write_capture, CaptureError};
+use fgbd_trace::capture2::{read_capture2_parallel, read_capture2_range, ChunkedWriter};
 use fgbd_trace::reconstruct::{reference, Accuracy, Heuristic, Reconstruction};
 use fgbd_trace::stream::extract_streamed;
 use fgbd_trace::{
@@ -175,6 +176,17 @@ fn nodes4() -> Vec<NodeMeta> {
 /// time and sharing small connection pools, then truncated at both ends —
 /// concurrency, FIFO conn reuse, orphan calls, and orphan responses in one
 /// generator.
+/// Encodes a log in the chunked columnar format (`FGBDCAP2`) with an
+/// explicit records-per-chunk bound, returning the raw bytes.
+fn chunked_bytes(log: &TraceLog, chunk_records: usize) -> Vec<u8> {
+    let mut w = ChunkedWriter::with_chunk_records(Vec::new(), &log.nodes, chunk_records)
+        .expect("open chunked writer");
+    for &r in &log.records {
+        w.push(r).expect("push record");
+    }
+    w.finish().expect("finish chunked capture")
+}
+
 fn interleaved_log(shapes: &[(u8, u16, u64, u64)], drop_head: usize, drop_tail: usize) -> TraceLog {
     let mk = |at: u64, src: NodeId, dst: NodeId, kind: MsgKind, conn: u32, class: u16, txn: u64| {
         MsgRecord {
@@ -385,6 +397,114 @@ proptest! {
         }
         prop_assert_eq!(&streamed.unmatched, &spec.unmatched);
         prop_assert_eq!(streamed.len(), spec.len());
+    }
+
+    /// The chunked columnar format (`FGBDCAP2`) is bit-identical to the
+    /// flat reference path: decode(chunked(log)) == decode(flat(log)) for
+    /// every chunk size and thread count, and re-encoding the chunked
+    /// decode as `FGBDCAP1` reproduces the flat bytes exactly.
+    #[test]
+    fn chunked_capture_matches_flat_roundtrip(
+        shapes in prop::collection::vec((0u8..5, 0u16..4, 0u64..400, 2u64..10), 0..20),
+        chunk in 1usize..48,
+        threads in 1usize..5,
+    ) {
+        let log = interleaved_log(&shapes, 0, 0);
+        let mut flat = Vec::new();
+        write_capture(&mut flat, &log).expect("write flat");
+        let oracle = read_capture(flat.as_slice()).expect("read flat");
+
+        let chunked = chunked_bytes(&log, chunk);
+        // The shared entry point sniffs the magic and decodes either format.
+        let seq = read_capture(chunked.as_slice()).expect("read chunked");
+        let par = read_capture2_parallel(&chunked, threads).expect("read chunked parallel");
+        prop_assert_eq!(&seq.nodes, &oracle.nodes);
+        prop_assert_eq!(&seq.records, &oracle.records);
+        prop_assert_eq!(&par.nodes, &oracle.nodes);
+        prop_assert_eq!(&par.records, &oracle.records);
+
+        let mut again = Vec::new();
+        write_capture(&mut again, &par).expect("re-encode flat");
+        prop_assert_eq!(again, flat);
+    }
+
+    /// Any truncation of a chunked capture is rejected by both readers,
+    /// never silently mis-decoded.
+    #[test]
+    fn chunked_truncation_always_detected(
+        shapes in prop::collection::vec((0u8..4, 0u16..3, 0u64..200, 2u64..8), 1..8),
+        chunk in 1usize..16,
+        frac in 0.0f64..1.0,
+    ) {
+        let log = interleaved_log(&shapes, 0, 0);
+        let buf = chunked_bytes(&log, chunk);
+        let cut = ((buf.len() - 1) as f64 * frac) as usize;
+        prop_assert!(read_capture(&buf[..cut]).is_err());
+        prop_assert!(read_capture2_parallel(&buf[..cut], 2).is_err());
+    }
+
+    /// Any single-byte corruption in the chunk region is detected, and a
+    /// flip inside a chunk *payload* is attributed to exactly that chunk
+    /// by index — the per-chunk checksum contract.
+    #[test]
+    fn chunked_corruption_names_the_chunk(
+        shapes in prop::collection::vec((0u8..4, 0u16..3, 0u64..200, 2u64..8), 2..8),
+        chunk in 1usize..8,
+        pick in (0usize..1 << 16, 0usize..1 << 16),
+    ) {
+        let log = interleaved_log(&shapes, 0, 0);
+        let mut buf = chunked_bytes(&log, chunk);
+        // Walk the public footer layout to the chunk table: trailer is
+        // `index_offset u64 + magic`, footer body is `tag u8 + n u32 +
+        // n × {offset u64, count u32, min u64, max u64}`.
+        let trailer = buf.len() - 16;
+        let index_offset =
+            u64::from_le_bytes(buf[trailer..trailer + 8].try_into().unwrap()) as usize;
+        let n_chunks =
+            u32::from_le_bytes(buf[index_offset + 1..index_offset + 5].try_into().unwrap())
+                as usize;
+        prop_assert!(n_chunks >= 1);
+        let victim = pick.0 % n_chunks;
+        let entry = index_offset + 5 + victim * 28;
+        let chunk_off =
+            u64::from_le_bytes(buf[entry..entry + 8].try_into().unwrap()) as usize;
+        let byte_len =
+            u32::from_le_bytes(buf[chunk_off + 21..chunk_off + 25].try_into().unwrap())
+                as usize;
+        let flip = chunk_off + 33 + pick.1 % byte_len;
+        buf[flip] ^= 0x5A;
+        match read_capture2_parallel(&buf, 2) {
+            Err(CaptureError::Chunk { index, .. }) => {
+                prop_assert_eq!(index as usize, victim);
+            }
+            Err(other) => prop_assert!(false, "expected chunk {} error, got {}", victim, other),
+            Ok(_) => prop_assert!(false, "payload corruption went undetected"),
+        }
+        prop_assert!(read_capture(buf.as_slice()).is_err());
+    }
+
+    /// Time-range-pruned reads equal a full read plus filter — pruning by
+    /// the chunk index never adds or drops a record at the boundaries.
+    #[test]
+    fn chunked_range_read_matches_filtered_full_read(
+        shapes in prop::collection::vec((0u8..5, 0u16..4, 0u64..400, 2u64..10), 1..15),
+        chunk in 1usize..32,
+        bounds in (0u64..3_000, 0u64..3_000),
+    ) {
+        let log = interleaved_log(&shapes, 0, 0);
+        let buf = chunked_bytes(&log, chunk);
+        let (from, to) = (
+            SimTime::from_micros(bounds.0.min(bounds.1)),
+            SimTime::from_micros(bounds.0.max(bounds.1)),
+        );
+        let pruned = read_capture2_range(&buf, 2, from, to).expect("range read");
+        let oracle: Vec<MsgRecord> = log
+            .records
+            .iter()
+            .copied()
+            .filter(|r| r.at >= from && r.at <= to)
+            .collect();
+        prop_assert_eq!(pruned.records, oracle);
     }
 
     /// Slicing by time then extracting spans equals extracting then

@@ -5,9 +5,11 @@
 # and `extract_spans` (dense fast paths vs references) and `pipeline`
 # (end-to-end simulate → reconstruct → calibrate → detect) groups, plus
 # the `event_queue` hold-model bench (timing wheel vs reference heap), the
-# `streaming_pipeline` bench (batch vs sharded online extraction), and the
+# `streaming_pipeline` bench (batch vs sharded online extraction), the
 # `parallel_sim` bench (sequential reference vs population-sharded lockstep
-# fleets across worker counts).
+# fleets across worker counts), and the `capture_format/chunked_*` benches
+# (FGBDCAP2 columnar write + 1/4-thread parallel read vs the flat FGBDCAP1
+# baseline on the 200k-record fixture).
 #
 # If any run manifests exist under out/manifests/ (written by the
 # fgbd-repro binaries, see crates/obsv), the newest one's per-stage wall
