@@ -1,0 +1,254 @@
+//! Offline mini-criterion: enough of the criterion 0.x API to compile and
+//! *run* this workspace's benches, with adaptive iteration counts and
+//! criterion-compatible `target/criterion/<id>/new/estimates.json` output
+//! so `scripts/bench.sh` can fold the numbers. No statistics beyond the
+//! median of a handful of samples; CI with the real crate does better.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement-time budget per benchmark (seconds).
+const TARGET_SECS: f64 = 0.6;
+const SAMPLES: usize = 7;
+
+/// Throughput annotation (recorded, reported inline).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    BytesDecimal(u64),
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    NumBatches(u64),
+    NumIterations(u64),
+    PerIteration,
+}
+
+/// Parameterized benchmark id.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a bench id.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-iteration timing driver.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    fn measure<F: FnMut(u64) -> Duration>(&mut self, mut run_batch: F) {
+        // Warm up + calibrate: grow the batch until it takes >= ~2ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t = run_batch(iters);
+            if t >= Duration::from_millis(2) || iters >= 1 << 24 {
+                break;
+            }
+            iters *= 4;
+        }
+        let per = run_batch(iters).as_secs_f64() / iters as f64;
+        let budget_iters =
+            ((TARGET_SECS / SAMPLES as f64 / per.max(1e-9)) as u64).clamp(1, 1 << 28);
+        let iters = iters.max(budget_iters.min(iters * 16));
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| run_batch(iters).as_secs_f64() / iters as f64 * 1e9)
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.measure(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.measure(|iters| {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            start.elapsed()
+        });
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.measure(|iters| {
+            let mut inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in &mut inputs {
+                black_box(routine(input));
+            }
+            start.elapsed()
+        });
+    }
+}
+
+fn run_one(full_id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { median_ns: 0.0 };
+    f(&mut b);
+    println!("bench {:<56} {:>14.1} ns/iter", full_id, b.median_ns);
+    // Criterion-compatible estimates for scripts/bench.sh.
+    let dir = format!("target/criterion/{}/new", full_id);
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let body = format!(
+            "{{\"median\":{{\"point_estimate\":{0}}},\"mean\":{{\"point_estimate\":{0}}}}}",
+            b.median_ns
+        );
+        let _ = std::fs::write(format!("{}/estimates.json", dir), body);
+    }
+}
+
+/// Benchmark group: forwards to `run_one` with `group/` prefixes.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes `--bench` (and possibly a filter); the
+            // mini-harness runs everything regardless.
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,47 @@
+//! Offline stub of `crossbeam::thread::scope` over `std::thread::scope`
+//! (the only crossbeam API this workspace uses).
+
+pub mod thread {
+    /// Same alias crossbeam exposes.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// Wrapper over `std::thread::Scope` matching crossbeam's shape: the
+    /// spawn closure receives `&Scope` so it can spawn nested siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle matching crossbeam's `join() -> Result<T>` signature.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// crossbeam returns `Err` when an unjoined child panicked; std's scope
+    /// re-raises instead, so a completed closure always maps to `Ok` here.
+    /// This workspace joins every handle explicitly, where the two agree.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}

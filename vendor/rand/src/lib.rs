@@ -1,0 +1,169 @@
+//! Offline stub of the `rand 0.9` API surface this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::random::<u64>()`, `Rng::random::<f64>()`,
+//! `Rng::random_range(low..high)`. Deterministic xoshiro256++ seeded via
+//! SplitMix64. Streams differ from the real crate's ChaCha12 `StdRng`, so
+//! outputs are only comparable run-to-run within one build — which is all
+//! the workspace's tests and tools ever compare.
+
+pub mod rngs {
+    /// Deterministic stand-in for `rand::rngs::StdRng` (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias so `SmallRng` users (none today) keep compiling.
+    pub type SmallRng = StdRng;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Seeding trait (only `seed_from_u64` is used by this workspace).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start all-zero; splitmix output can't be all
+        // zero for four consecutive draws, but keep the guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E3779B97F4A7C15;
+        }
+        rngs::StdRng { s }
+    }
+}
+
+/// Sampling from the "standard" distribution (uniform bits / unit interval).
+pub trait StandardSample {
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl StandardSample for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl StandardSample for f64 {
+    fn from_bits(bits: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1), like rand's StandardUniform.
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Integer types usable with `random_range(low..high)`.
+pub trait UniformRangeSample: Copy {
+    fn sample_range(low: Self, high: Self, bits: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRangeSample for $t {
+            fn sample_range(low: Self, high: Self, bits: u64) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u128;
+                low.wrapping_add((bits as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_sint {
+    ($($t:ty),*) => {$(
+        impl UniformRangeSample for $t {
+            fn sample_range(low: Self, high: Self, bits: u64) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                ((low as i128) + (bits as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_sint!(i8, i16, i32, i64, isize);
+
+impl UniformRangeSample for f64 {
+    fn sample_range(low: Self, high: Self, bits: u64) -> Self {
+        let unit = <f64 as StandardSample>::from_bits(bits);
+        low + unit * (high - low)
+    }
+}
+
+/// The `Rng` extension trait (subset).
+pub trait Rng {
+    fn next_bits(&mut self) -> u64;
+
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_bits())
+    }
+
+    fn random_range<T: UniformRangeSample>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(range.start, range.end, self.next_bits())
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_bits(&mut self) -> u64 {
+        self.next_raw()
+    }
+}

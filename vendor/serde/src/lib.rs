@@ -1,0 +1,15 @@
+//! Offline stub: trait names + no-op derives so `#[derive(Serialize,
+//! Deserialize)]` compiles without the real crates. Never serialized in
+//! this workspace's tests, so blanket impls suffice.
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub trait Serializer {}
+pub trait Deserializer<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
