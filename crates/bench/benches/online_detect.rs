@@ -1,0 +1,156 @@
+//! Criterion benchmarks of the streaming detector (`fgbd_core::online`):
+//! per-record push throughput with and without live-window refits, against
+//! the batch detector run over the same materialized capture. The push
+//! numbers are the per-record cost a live tap adds to the simulation
+//! thread; the batch number is what the offline pipeline pays after the
+//! fact for the identical result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fgbd_core::detect::{analyze_server, DetectorConfig};
+use fgbd_core::online::{OnlineConfig, OnlineDetector};
+use fgbd_core::series::Window;
+use fgbd_des::{Dice, SimDuration, SimTime};
+use fgbd_trace::servicetime::ServiceTimeTable;
+use fgbd_trace::{
+    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, SpanSet, TraceLog,
+};
+
+const CLIENT: NodeId = NodeId(0);
+const SERVER: NodeId = NodeId(1);
+const WORK_UNIT_US: u64 = 700;
+const INTERVAL_US: u64 = 50_000;
+
+/// A time-ordered single-server record soup with up to 64 requests in
+/// flight across 16 reused connections — enough concurrency to keep the
+/// FIFO pairing maps and the interval accumulators warm.
+fn synthetic_records(pairs: u64, seed: u64) -> Vec<MsgRecord> {
+    let mut dice = Dice::seed(seed);
+    let mut recs = Vec::with_capacity(pairs as usize * 2);
+    let mut active: Vec<MsgRecord> = Vec::new();
+    let mut next = 0u64;
+    let mut t = 0u64;
+    while next < pairs || !active.is_empty() {
+        t += 1 + dice.index(40) as u64;
+        let at = SimTime::from_micros(t);
+        if next < pairs && active.len() < 64 && (active.is_empty() || dice.chance(0.5)) {
+            let req = MsgRecord {
+                at,
+                src: CLIENT,
+                dst: SERVER,
+                kind: MsgKind::Request,
+                conn: ConnId((next % 16) as u32),
+                class: ClassId((next % 4) as u16),
+                bytes: 200,
+                truth: None,
+            };
+            recs.push(req);
+            active.push(req);
+            next += 1;
+        } else {
+            let i = dice.index(active.len());
+            let req = active.swap_remove(i);
+            recs.push(MsgRecord {
+                at,
+                src: SERVER,
+                dst: CLIENT,
+                kind: MsgKind::Response,
+                ..req
+            });
+        }
+    }
+    recs.sort_by_key(|r| r.at);
+    recs
+}
+
+fn services() -> ServiceTimeTable {
+    let mut t = ServiceTimeTable::new();
+    for class in 0..4 {
+        t.insert(
+            SERVER,
+            ClassId(class),
+            SimDuration::from_micros(300 + u64::from(class) * 150),
+        );
+    }
+    t
+}
+
+fn online_config(live_window: usize) -> OnlineConfig {
+    let mut cfg = OnlineConfig::new(
+        SimTime::ZERO,
+        SimDuration::from_micros(INTERVAL_US),
+        SimDuration::from_micros(WORK_UNIT_US),
+    );
+    cfg.live_window = live_window;
+    cfg
+}
+
+/// Streaming push throughput (elements = records) vs the batch detector
+/// over the materialized capture. `scripts/bench.sh` folds this group into
+/// `BENCH_analysis.json` as `online_detect/*`.
+fn bench_online_detect(c: &mut Criterion) {
+    let recs = synthetic_records(100_000, 20130708);
+    let end = SimTime::from_micros(recs.last().unwrap().at.as_micros() + INTERVAL_US);
+    let mut group = c.benchmark_group("online_detect");
+    group.throughput(criterion::Throughput::Elements(recs.len() as u64));
+    for live_window in [64usize, 1024] {
+        group.bench_function(format!("push_window_{live_window}"), |b| {
+            b.iter(|| {
+                let mut det = OnlineDetector::new(online_config(live_window), services());
+                for r in &recs {
+                    det.push(black_box(r));
+                }
+                det.finish(end)
+            });
+        });
+    }
+    group.bench_function("push_no_retain", |b| {
+        b.iter(|| {
+            let mut cfg = online_config(64);
+            cfg.retain = false;
+            let mut det = OnlineDetector::new(cfg, services());
+            for r in &recs {
+                det.push(black_box(r));
+            }
+            det.finish(end)
+        });
+    });
+    group.bench_function("batch_baseline", |b| {
+        let nodes = vec![
+            NodeMeta {
+                id: CLIENT,
+                name: "clients".into(),
+                kind: NodeKind::Client,
+                tier: None,
+            },
+            NodeMeta {
+                id: SERVER,
+                name: "server".into(),
+                kind: NodeKind::Server,
+                tier: Some(0),
+            },
+        ];
+        let mut log = TraceLog::new(nodes);
+        for r in &recs {
+            log.push(*r);
+        }
+        let window = Window::new(SimTime::ZERO, end, SimDuration::from_micros(INTERVAL_US));
+        let dcfg = DetectorConfig::default();
+        b.iter(|| {
+            let spans = SpanSet::extract(black_box(&log));
+            analyze_server(
+                spans.server(SERVER),
+                SERVER,
+                window,
+                &services(),
+                SimDuration::from_micros(WORK_UNIT_US),
+                &dcfg,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_detect);
+criterion_main!(benches);

@@ -203,18 +203,7 @@ pub fn analyze_server(
     let set = SeriesSet::from_spans(spans, window, services, work_unit);
     let (load, tput) = (set.load(), set.tput());
     let rates = tput.unit_rates();
-    // Drop freeze outliers (near-zero output at non-idle load) before
-    // fitting the main sequence curve.
-    let p95 = crate::stats::percentile(&rates, 0.95).unwrap_or(0.0);
-    let floor = cfg.mainseq_filter_frac * p95;
-    let (main_loads, main_rates): (Vec<f64>, Vec<f64>) = load
-        .values()
-        .iter()
-        .zip(&rates)
-        .filter(|&(&ld, &tp)| ld < cfg.idle_load || tp >= floor)
-        .map(|(&ld, &tp)| (ld, tp))
-        .unzip();
-    let nstar = nstar::estimate(&main_loads, &main_rates, &cfg.nstar);
+    let nstar = fit_mainseq(load.values(), &rates, cfg);
     let states = classify(&load, &rates, nstar.as_ref(), cfg);
     ServerReport {
         server,
@@ -226,6 +215,66 @@ pub fn analyze_server(
     }
 }
 
+/// Fits the main sequence curve (§III-B) over raw per-interval samples and
+/// returns the estimated congestion point, if observable.
+///
+/// This is the exact fitting step of [`analyze_server`], factored out so
+/// the online detector ([`crate::online`]) reuses it bit-for-bit: drop
+/// freeze outliers (near-zero output at non-idle load) relative to the
+/// 95th-percentile throughput, then run intervention analysis.
+pub fn fit_mainseq(loads: &[f64], rates: &[f64], cfg: &DetectorConfig) -> Option<NStar> {
+    let p95 = crate::stats::percentile(rates, 0.95).unwrap_or(0.0);
+    let floor = cfg.mainseq_filter_frac * p95;
+    let (main_loads, main_rates): (Vec<f64>, Vec<f64>) = loads
+        .iter()
+        .zip(rates)
+        .filter(|&(&ld, &tp)| ld < cfg.idle_load || tp >= floor)
+        .map(|(&ld, &tp)| (ld, tp))
+        .unzip();
+    nstar::estimate(&main_loads, &main_rates, &cfg.nstar)
+}
+
+/// Classifies one interval's `(load, normalized throughput rate)` sample
+/// given the estimated congestion point. The single source of truth for
+/// the §III state machine — both the batch [`classify`] and the online
+/// detector call it.
+#[inline]
+pub fn classify_one(
+    ld: f64,
+    tp: f64,
+    nstar: Option<&NStar>,
+    cfg: &DetectorConfig,
+) -> IntervalState {
+    if ld < cfg.idle_load {
+        return IntervalState::Idle;
+    }
+    let Some(est) = nstar else {
+        return IntervalState::Normal;
+    };
+    if ld <= est.nstar {
+        return IntervalState::Normal;
+    }
+    if tp < cfg.poi_tput_frac * est.tp_max {
+        IntervalState::Frozen
+    } else {
+        IntervalState::Congested
+    }
+}
+
+/// Classifies raw per-interval sample slices (see [`classify_one`]).
+pub fn classify_values(
+    loads: &[f64],
+    rates: &[f64],
+    nstar: Option<&NStar>,
+    cfg: &DetectorConfig,
+) -> Vec<IntervalState> {
+    loads
+        .iter()
+        .zip(rates)
+        .map(|(&ld, &tp)| classify_one(ld, tp, nstar, cfg))
+        .collect()
+}
+
 /// Classifies each interval given the estimated congestion point.
 pub fn classify(
     load: &LoadSeries,
@@ -233,25 +282,7 @@ pub fn classify(
     nstar: Option<&NStar>,
     cfg: &DetectorConfig,
 ) -> Vec<IntervalState> {
-    (0..load.len())
-        .map(|i| {
-            let ld = load.get(i);
-            if ld < cfg.idle_load {
-                return IntervalState::Idle;
-            }
-            let Some(est) = nstar else {
-                return IntervalState::Normal;
-            };
-            if ld <= est.nstar {
-                return IntervalState::Normal;
-            }
-            if tput_rates[i] < cfg.poi_tput_frac * est.tp_max {
-                IntervalState::Frozen
-            } else {
-                IntervalState::Congested
-            }
-        })
-        .collect()
+    classify_values(load.values(), tput_rates, nstar, cfg)
 }
 
 /// Attributes freeze (POI) intervals to their originating tier.

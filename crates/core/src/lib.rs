@@ -68,6 +68,7 @@ pub mod correlate;
 pub mod detect;
 pub mod interval;
 pub mod nstar;
+pub mod online;
 pub mod oplaw;
 pub mod plateau;
 pub mod series;
@@ -75,5 +76,9 @@ pub mod stats;
 
 pub use detect::{analyze_server, rank_bottlenecks, DetectorConfig, IntervalState, ServerReport};
 pub use nstar::{NStar, NStarConfig};
+pub use online::{
+    MonitorEvent, MonitorSnapshot, OnlineConfig, OnlineDetector, OnlineFinish, OnlineReport,
+    ServerSnapshot, VerdictKind,
+};
 pub use plateau::{find_plateaus, match_levels, Plateau, PlateauConfig};
 pub use series::{LoadSeries, ThroughputSeries, Window};

@@ -1,0 +1,1105 @@
+//! Online (streaming) transient-bottleneck detection.
+//!
+//! The batch pipeline materializes every span, then runs
+//! [`crate::detect::analyze_server`] over the full capture. This module is
+//! the same §III analysis restructured as a **one-pass stream consumer**
+//! with memory bounded by the in-flight horizon instead of the run length:
+//! feed it time-ordered [`MsgRecord`]s (from the live DES tap or a tailed
+//! capture file) and it
+//!
+//! 1. pairs requests with responses FIFO per `(server, connection)` —
+//!    byte-for-byte the batch `SpanSet::extract` rule;
+//! 2. folds each matched span into per-interval integer accumulators kept
+//!    in a ring over the *unfinalized* suffix of the grid (the sweep-line
+//!    difference-array trick of [`crate::series`], carried across chunks);
+//! 3. **finalizes** an interval once the per-server watermark passes its
+//!    end — the watermark is `min(earliest open request arrival, stream
+//!    time)`, so a finalized interval provably can never be touched by a
+//!    future record;
+//! 4. re-estimates N\* on a sliding window of finalized samples and runs
+//!    the interval state machine with hysteresis, emitting
+//!    [`MonitorEvent`] onset/clear verdicts online.
+//!
+//! # Equivalence to the batch detector
+//!
+//! All accumulation uses the exact integer-microsecond arithmetic of
+//! [`crate::series`]; the one deviation is that a span's departure cannot
+//! be clamped to a grid end that is not yet known, so spans accumulate
+//! *unclamped* and intervals at or past the final grid length are dropped
+//! at [`OnlineDetector::finish`]. For every kept interval the clamped and
+//! unclamped constructions distribute identical integer totals (the
+//! boundary interval receives its full coverage through the difference
+//! array instead of a direct add), so with `retain` on, the final report's
+//! loads, rates, N\* and states are **bit-for-bit** what `analyze_server`
+//! computes from the materialized capture — property-tested in
+//! `tests/online.rs` and CI-gated at seed 20130708.
+//!
+//! Live verdicts are intentionally *provisional*: they use the
+//! sliding-window N\* available at finalization time, trading the batch
+//! detector's full-run fit for bounded memory and bounded detection
+//! latency. The final report re-classifies with the full-run fit.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use fgbd_des::hash::FxHashMap;
+use fgbd_des::{SimDuration, SimTime};
+use fgbd_trace::servicetime::ServiceTimeTable;
+use fgbd_trace::{ClassId, MsgKind, MsgRecord, NodeId};
+
+use crate::detect::{classify_one, classify_values, fit_mainseq, DetectorConfig, IntervalState};
+use crate::nstar::NStar;
+use crate::series::Window;
+
+/// Parameters of the online detector.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// Start of the analysis grid (records before it still feed pairing).
+    pub start: SimTime,
+    /// Interval length (the paper's fine granularity, e.g. 50 ms).
+    pub interval: SimDuration,
+    /// Default work unit for throughput normalization; override per
+    /// server with [`OnlineDetector::set_work_unit`] to mirror the batch
+    /// pipeline's per-server calibration.
+    pub work_unit: SimDuration,
+    /// Batch detector parameters (idle/POI thresholds, N\* fit).
+    pub detector: DetectorConfig,
+    /// Finalized samples kept in the sliding window the live N\* is fit on.
+    pub live_window: usize,
+    /// Consecutive intervals required to flip the congested state (both
+    /// directions) — the hysteresis that keeps single-interval flickers
+    /// out of the verdict stream.
+    pub hysteresis: usize,
+    /// Refit the live N\* every this many finalized intervals (per
+    /// server). Deterministic in the finalization count, so verdicts are
+    /// invariant to how the stream is chunked.
+    pub refit_every: usize,
+    /// Keep every finalized `(load, rate)` sample so
+    /// [`OnlineDetector::finish`] can reproduce the batch report exactly.
+    /// Off, memory is flat in run length and the final report carries
+    /// live counts only.
+    pub retain: bool,
+}
+
+impl OnlineConfig {
+    /// Defaults for a grid: 1200-sample live window (one minute of 50 ms
+    /// intervals), hysteresis 2, refit every 64 intervals, retained.
+    pub fn new(start: SimTime, interval: SimDuration, work_unit: SimDuration) -> OnlineConfig {
+        OnlineConfig {
+            start,
+            interval,
+            work_unit,
+            detector: DetectorConfig::default(),
+            live_window: 1200,
+            hysteresis: 2,
+            refit_every: 64,
+            retain: true,
+        }
+    }
+}
+
+/// Did the server just enter or leave congestion?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// `hysteresis` consecutive congested/frozen intervals finalized.
+    Onset,
+    /// `hysteresis` consecutive uncongested intervals finalized.
+    Clear,
+}
+
+/// One online verdict: a congestion onset or clear at one server.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorEvent {
+    /// The server whose state flipped.
+    pub server: NodeId,
+    /// Onset or clear.
+    pub kind: VerdictKind,
+    /// Index of the first interval of the streak that caused the flip.
+    pub interval: usize,
+    /// End timestamp of that interval.
+    pub interval_end: SimTime,
+    /// Live N\* at emission time (`None` while unobservable).
+    pub nstar: Option<f64>,
+    /// Live `TP_max` at emission time (0 while N\* is unobservable).
+    pub tp_max: f64,
+    /// Load of the interval that completed the streak.
+    pub load: f64,
+    /// Normalized throughput rate of that interval.
+    pub rate: f64,
+    /// Open (in-flight) requests at the server when the verdict fired.
+    pub queue_depth: usize,
+    /// Sim-time from the streak's first interval end to verdict emission
+    /// — the detection latency the monitor's histogram tracks.
+    pub detect_latency: SimDuration,
+}
+
+/// Live per-server state, exported on heartbeats.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerSnapshot {
+    /// The server.
+    pub server: NodeId,
+    /// Intervals finalized so far.
+    pub finalized: usize,
+    /// Current hysteresis-filtered congestion state.
+    pub congested_now: bool,
+    /// Live sliding-window N\*.
+    pub live_nstar: Option<f64>,
+    /// Open (in-flight) requests.
+    pub open_requests: usize,
+    /// Load of the most recently finalized interval.
+    pub last_load: f64,
+    /// Normalized rate of the most recently finalized interval.
+    pub last_rate: f64,
+    /// Finalized intervals classified congested or frozen (live N\*).
+    pub congested_intervals: usize,
+    /// Finalized intervals classified frozen (live N\*).
+    pub frozen_intervals: usize,
+}
+
+/// A point-in-time view of the whole monitor, for heartbeat emission.
+#[derive(Debug, Clone)]
+pub struct MonitorSnapshot {
+    /// Stream time of the last consumed record.
+    pub at: SimTime,
+    /// Records consumed.
+    pub records: u64,
+    /// Open requests across all servers.
+    pub spans_in_flight: usize,
+    /// Stream time minus the slowest server watermark: how far verdicts
+    /// trail the stream.
+    pub lag: SimDuration,
+    /// Estimated bytes of detector state (rings, FIFOs, windows, retained
+    /// samples).
+    pub state_bytes: usize,
+    /// Per-server live state, ordered by server id.
+    pub servers: Vec<ServerSnapshot>,
+}
+
+/// Final per-server report from [`OnlineDetector::finish`].
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// The server.
+    pub server: NodeId,
+    /// The analysis grid the stream resolved to.
+    pub window: Window,
+    /// Full-run N\* (`retain` only; `None` otherwise or if unobservable).
+    pub nstar: Option<NStar>,
+    /// Batch-exact per-interval states (`retain` only; empty otherwise).
+    pub states: Vec<IntervalState>,
+    /// Batch-exact per-interval loads (`retain` only; empty otherwise).
+    pub loads: Vec<f64>,
+    /// Batch-exact per-interval rates (`retain` only; empty otherwise).
+    pub rates: Vec<f64>,
+    /// Spans matched (request paired with response).
+    pub matched: u64,
+    /// Unmatched messages: front-truncated responses plus requests still
+    /// open at stream end — the batch `SpanSet::unmatched` rule.
+    pub unmatched: usize,
+    /// Intervals the *live* state machine saw as congested or frozen.
+    pub live_congested: usize,
+    /// Intervals the *live* state machine saw as frozen.
+    pub live_frozen: usize,
+}
+
+/// Everything [`OnlineDetector::finish`] produces: the per-server reports
+/// plus any verdicts emitted while finalizing the tail of the grid (which
+/// would otherwise be lost — the detector is consumed).
+#[derive(Debug, Clone)]
+pub struct OnlineFinish {
+    /// Final per-server reports, ordered by server id.
+    pub reports: Vec<OnlineReport>,
+    /// Verdicts not yet drained, including tail-finalization ones.
+    pub events: Vec<MonitorEvent>,
+}
+
+/// Integer accumulators of one not-yet-finalized interval (the ring
+/// element). Mirrors one cell of the batch `LoadAcc`/`TputAcc`.
+#[derive(Debug, Clone, Copy, Default)]
+struct IntervalAcc {
+    overlap_us: u64,
+    full_diff: i64,
+    count: u32,
+    service_us: u64,
+}
+
+/// One open request awaiting its response.
+#[derive(Debug, Clone, Copy)]
+struct OpenReq {
+    at_us: u64,
+    class: ClassId,
+    ticket: u64,
+}
+
+#[derive(Debug)]
+struct ServerState {
+    server: NodeId,
+    wu_us: u64,
+    /// FIFO of open requests per connection — the batch pairing rule.
+    fifos: FxHashMap<u32, VecDeque<OpenReq>>,
+    open: usize,
+    next_ticket: u64,
+    /// Min-heap over FIFO *fronts*: `(arrival_us, ticket, conn)`. Lazy
+    /// deletion — an entry is alive iff it still is its FIFO's front.
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Accumulators for intervals `finalized ..`, front first.
+    ring: VecDeque<IntervalAcc>,
+    finalized: usize,
+    /// Running prefix sum of consumed `full_diff`s (spans fully covering
+    /// the current front interval).
+    covering: i64,
+    /// Sliding window of finalized `(load, rate)` samples the live N\* is
+    /// fit on.
+    samples: VecDeque<(f64, f64)>,
+    live_nstar: Option<NStar>,
+    since_refit: usize,
+    streak: usize,
+    streak_start: usize,
+    clear_streak: usize,
+    clear_start: usize,
+    congested_now: bool,
+    last_load: f64,
+    last_rate: f64,
+    live_congested: usize,
+    live_frozen: usize,
+    matched: u64,
+    unmatched: usize,
+    loads: Vec<f64>,
+    rates: Vec<f64>,
+}
+
+impl ServerState {
+    fn new(server: NodeId, wu_us: u64) -> ServerState {
+        ServerState {
+            server,
+            wu_us,
+            fifos: FxHashMap::default(),
+            open: 0,
+            next_ticket: 0,
+            heap: BinaryHeap::new(),
+            ring: VecDeque::new(),
+            finalized: 0,
+            covering: 0,
+            samples: VecDeque::new(),
+            live_nstar: None,
+            since_refit: 0,
+            streak: 0,
+            streak_start: 0,
+            clear_streak: 0,
+            clear_start: 0,
+            congested_now: false,
+            last_load: 0.0,
+            last_rate: 0.0,
+            live_congested: 0,
+            live_frozen: 0,
+            matched: 0,
+            unmatched: 0,
+            loads: Vec::new(),
+            rates: Vec::new(),
+        }
+    }
+
+    /// Earliest open request arrival, cleaning stale heap tops.
+    fn open_min(&mut self) -> Option<u64> {
+        while let Some(&Reverse((at, ticket, conn))) = self.heap.peek() {
+            let alive = self
+                .fifos
+                .get(&conn)
+                .and_then(VecDeque::front)
+                .is_some_and(|r| r.ticket == ticket);
+            if alive {
+                return Some(at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Rebuilds the heap from live FIFO fronts when lazy deletion has let
+    /// it outgrow the open set — one pinned old request must not make the
+    /// heap grow with churn.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() > 2 * self.open + 16 {
+            self.heap = self
+                .fifos
+                .iter()
+                .filter_map(|(&conn, q)| q.front().map(|r| Reverse((r.at_us, r.ticket, conn))))
+                .collect();
+        }
+    }
+
+    fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.ring.len() * size_of::<IntervalAcc>()
+            + self.heap.len() * size_of::<Reverse<(u64, u64, u32)>>()
+            + self
+                .fifos
+                .values()
+                .map(|q| q.len() * size_of::<OpenReq>() + size_of::<u32>())
+                .sum::<usize>()
+            + self.samples.len() * size_of::<(f64, f64)>()
+            + (self.loads.len() + self.rates.len()) * size_of::<f64>()
+    }
+}
+
+/// The streaming detector: one instance consumes one time-ordered record
+/// stream and serves all servers appearing in it.
+#[derive(Debug)]
+pub struct OnlineDetector {
+    cfg: OnlineConfig,
+    services: ServiceTimeTable,
+    start_us: u64,
+    ilen_us: u64,
+    wu_default_us: u64,
+    wu_overrides: FxHashMap<u16, u64>,
+    /// `interval.as_secs_f64()`, precomputed once — the exact divisor the
+    /// batch `unit_rate` uses.
+    interval_secs: f64,
+    servers: FxHashMap<u16, ServerState>,
+    cur_us: u64,
+    records: u64,
+    events: Vec<MonitorEvent>,
+}
+
+impl OnlineDetector {
+    /// Creates a detector over the given grid and calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` or `work_unit` is zero, or any of
+    /// `live_window`, `hysteresis`, `refit_every` is zero.
+    pub fn new(cfg: OnlineConfig, services: ServiceTimeTable) -> OnlineDetector {
+        assert!(!cfg.interval.is_zero(), "interval must be positive");
+        assert!(!cfg.work_unit.is_zero(), "work unit must be positive");
+        assert!(cfg.live_window > 0, "live window must be positive");
+        assert!(cfg.hysteresis > 0, "hysteresis must be positive");
+        assert!(cfg.refit_every > 0, "refit period must be positive");
+        OnlineDetector {
+            start_us: cfg.start.as_micros(),
+            ilen_us: cfg.interval.as_micros(),
+            wu_default_us: cfg.work_unit.as_micros(),
+            wu_overrides: FxHashMap::default(),
+            interval_secs: cfg.interval.as_secs_f64(),
+            cfg,
+            services,
+            servers: FxHashMap::default(),
+            cur_us: 0,
+            records: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Overrides the work unit for one server (the batch pipeline
+    /// calibrates one per server). Applies to spans accumulated after the
+    /// call — set before streaming for batch equivalence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_unit` is zero.
+    pub fn set_work_unit(&mut self, server: NodeId, work_unit: SimDuration) {
+        assert!(!work_unit.is_zero(), "work unit must be positive");
+        let wu = work_unit.as_micros();
+        self.wu_overrides.insert(server.0, wu);
+        if let Some(state) = self.servers.get_mut(&server.0) {
+            state.wu_us = wu;
+        }
+    }
+
+    /// The configuration this detector runs with.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.cfg
+    }
+
+    /// Stream time of the last consumed record.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.cur_us)
+    }
+
+    /// Records consumed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Consumes one record. Records must arrive in non-decreasing time
+    /// order (the capture contract).
+    pub fn push(&mut self, rec: &MsgRecord) {
+        debug_assert!(
+            rec.at.as_micros() >= self.cur_us,
+            "record stream must be time-ordered"
+        );
+        self.cur_us = self.cur_us.max(rec.at.as_micros());
+        self.records += 1;
+        let server = rec.span_node();
+        let wu_us = self
+            .wu_overrides
+            .get(&server.0)
+            .copied()
+            .unwrap_or(self.wu_default_us);
+        let state = self
+            .servers
+            .entry(server.0)
+            .or_insert_with(|| ServerState::new(server, wu_us));
+        match rec.kind {
+            MsgKind::Request => {
+                let ticket = state.next_ticket;
+                state.next_ticket += 1;
+                let q = state.fifos.entry(rec.conn.0).or_default();
+                let was_empty = q.is_empty();
+                q.push_back(OpenReq {
+                    at_us: rec.at.as_micros(),
+                    class: rec.class,
+                    ticket,
+                });
+                state.open += 1;
+                if was_empty {
+                    state
+                        .heap
+                        .push(Reverse((rec.at.as_micros(), ticket, rec.conn.0)));
+                }
+            }
+            MsgKind::Response => {
+                let popped = state
+                    .fifos
+                    .get_mut(&rec.conn.0)
+                    .and_then(VecDeque::pop_front);
+                match popped {
+                    None => state.unmatched += 1,
+                    Some(req) => {
+                        state.open -= 1;
+                        state.matched += 1;
+                        if let Some(front) = state.fifos.get(&rec.conn.0).and_then(VecDeque::front)
+                        {
+                            state
+                                .heap
+                                .push(Reverse((front.at_us, front.ticket, rec.conn.0)));
+                        }
+                        state.maybe_compact();
+                        Self::add_span(
+                            state,
+                            &self.services,
+                            self.start_us,
+                            self.ilen_us,
+                            req.at_us,
+                            rec.at.as_micros(),
+                            req.class,
+                        );
+                    }
+                }
+            }
+        }
+        // Add-then-finalize: the watermark only advances once the record's
+        // own effect is in the ring.
+        let cur_us = self.cur_us;
+        let (start_us, ilen_us, interval_secs) = (self.start_us, self.ilen_us, self.interval_secs);
+        let state = self.servers.get_mut(&server.0).expect("just inserted");
+        let wm = state.open_min().map_or(cur_us, |a| a.min(cur_us));
+        let target = if wm <= start_us {
+            0
+        } else {
+            ((wm - start_us) / ilen_us) as usize
+        };
+        Self::finalize_to(
+            state,
+            target,
+            cur_us,
+            start_us,
+            ilen_us,
+            interval_secs,
+            &self.cfg,
+            &mut self.events,
+        );
+    }
+
+    /// Consumes a chunk of records.
+    pub fn push_chunk(&mut self, recs: &[MsgRecord]) {
+        for r in recs {
+            self.push(r);
+        }
+    }
+
+    /// Folds one matched span into the unfinalized ring — the exact
+    /// integer arithmetic of the batch `LoadAcc::add`/`TputAcc::add`,
+    /// minus the grid-end clamp (out-of-grid intervals are dropped at
+    /// [`OnlineDetector::finish`] instead).
+    #[allow(clippy::too_many_arguments)]
+    fn add_span(
+        state: &mut ServerState,
+        services: &ServiceTimeTable,
+        start_us: u64,
+        ilen_us: u64,
+        arrival_us: u64,
+        departure_us: u64,
+        class: ClassId,
+    ) {
+        let base = state.finalized;
+        let at = |ring: &mut VecDeque<IntervalAcc>, index: usize| -> usize {
+            debug_assert!(index >= base, "span touches a finalized interval");
+            let slot = index - base;
+            if slot >= ring.len() {
+                ring.resize(slot + 1, IntervalAcc::default());
+            }
+            slot
+        };
+        // Load: boundary intervals directly, interior via the difference
+        // array.
+        let a = arrival_us.max(start_us);
+        let d = departure_us;
+        if d > a {
+            let rel_a = a - start_us;
+            let rel_d = d - start_us;
+            let first = (rel_a / ilen_us) as usize;
+            let last = ((rel_d - 1) / ilen_us) as usize;
+            if first == last {
+                let s = at(&mut state.ring, first);
+                state.ring[s].overlap_us += rel_d - rel_a;
+            } else {
+                let s = at(&mut state.ring, first);
+                state.ring[s].overlap_us += (first as u64 + 1) * ilen_us - rel_a;
+                let s = at(&mut state.ring, last);
+                state.ring[s].overlap_us += rel_d - last as u64 * ilen_us;
+                let s = at(&mut state.ring, first + 1);
+                state.ring[s].full_diff += 1;
+                let s = at(&mut state.ring, last);
+                state.ring[s].full_diff -= 1;
+            }
+        }
+        // Throughput: indexed by departure interval.
+        if departure_us >= start_us {
+            let i = ((departure_us - start_us) / ilen_us) as usize;
+            let s = at(&mut state.ring, i);
+            state.ring[s].count += 1;
+            let service_us = services
+                .get(state.server, class)
+                .map(|d| d.as_micros())
+                .unwrap_or_else(|| (departure_us - arrival_us).min(state.wu_us));
+            state.ring[s].service_us += service_us;
+        }
+    }
+
+    /// Finalizes intervals `state.finalized .. target`: materializes each
+    /// sample with the batch division order, feeds the sliding-window
+    /// fit and the hysteresis state machine, emits verdicts.
+    #[allow(clippy::too_many_arguments)]
+    fn finalize_to(
+        state: &mut ServerState,
+        target: usize,
+        cur_us: u64,
+        start_us: u64,
+        ilen_us: u64,
+        interval_secs: f64,
+        cfg: &OnlineConfig,
+        events: &mut Vec<MonitorEvent>,
+    ) {
+        while state.finalized < target {
+            let acc = state.ring.pop_front().unwrap_or_default();
+            state.covering += acc.full_diff;
+            debug_assert!(state.covering >= 0, "negative covering prefix");
+            let overlap_us = acc.overlap_us + state.covering as u64 * ilen_us;
+            // The only f64 productions — bit-identical to the batch
+            // `load_values` / `unit_values` / `unit_rate`.
+            let load = overlap_us as f64 / ilen_us as f64;
+            let units = acc.service_us as f64 / state.wu_us as f64;
+            let rate = units / interval_secs;
+            let index = state.finalized;
+            state.finalized += 1;
+            state.last_load = load;
+            state.last_rate = rate;
+            if cfg.retain {
+                state.loads.push(load);
+                state.rates.push(rate);
+            }
+            state.samples.push_back((load, rate));
+            while state.samples.len() > cfg.live_window {
+                state.samples.pop_front();
+            }
+            state.since_refit += 1;
+            if state.since_refit >= cfg.refit_every {
+                state.since_refit = 0;
+                let (ld, tp): (Vec<f64>, Vec<f64>) = state.samples.iter().copied().unzip();
+                state.live_nstar = fit_mainseq(&ld, &tp, &cfg.detector);
+            }
+            let verdict = classify_one(load, rate, state.live_nstar.as_ref(), &cfg.detector);
+            let congested = matches!(verdict, IntervalState::Congested | IntervalState::Frozen);
+            if congested {
+                state.live_congested += 1;
+                if matches!(verdict, IntervalState::Frozen) {
+                    state.live_frozen += 1;
+                }
+                if state.streak == 0 {
+                    state.streak_start = index;
+                }
+                state.streak += 1;
+                state.clear_streak = 0;
+                if !state.congested_now && state.streak >= cfg.hysteresis {
+                    state.congested_now = true;
+                    events.push(Self::event(
+                        state,
+                        VerdictKind::Onset,
+                        state.streak_start,
+                        cur_us,
+                        start_us,
+                        ilen_us,
+                        load,
+                        rate,
+                    ));
+                }
+            } else {
+                if state.clear_streak == 0 {
+                    state.clear_start = index;
+                }
+                state.clear_streak += 1;
+                state.streak = 0;
+                if state.congested_now && state.clear_streak >= cfg.hysteresis {
+                    state.congested_now = false;
+                    events.push(Self::event(
+                        state,
+                        VerdictKind::Clear,
+                        state.clear_start,
+                        cur_us,
+                        start_us,
+                        ilen_us,
+                        load,
+                        rate,
+                    ));
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn event(
+        state: &ServerState,
+        kind: VerdictKind,
+        interval: usize,
+        cur_us: u64,
+        start_us: u64,
+        ilen_us: u64,
+        load: f64,
+        rate: f64,
+    ) -> MonitorEvent {
+        let end_us = start_us + (interval as u64 + 1) * ilen_us;
+        MonitorEvent {
+            server: state.server,
+            kind,
+            interval,
+            interval_end: SimTime::from_micros(end_us),
+            nstar: state.live_nstar.as_ref().map(|e| e.nstar),
+            tp_max: state.live_nstar.as_ref().map_or(0.0, |e| e.tp_max),
+            load,
+            rate,
+            queue_depth: state.open,
+            detect_latency: SimTime::from_micros(cur_us.max(end_us)) - SimTime::from_micros(end_us),
+        }
+    }
+
+    /// Takes all verdicts emitted since the last drain.
+    pub fn drain_events(&mut self) -> Vec<MonitorEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// A point-in-time view for heartbeat emission.
+    pub fn snapshot(&mut self) -> MonitorSnapshot {
+        let cur_us = self.cur_us;
+        let mut ids: Vec<u16> = self.servers.keys().copied().collect();
+        ids.sort_unstable();
+        let mut spans_in_flight = 0;
+        let mut min_wm = cur_us;
+        let mut state_bytes = 0;
+        let mut servers = Vec::with_capacity(ids.len());
+        for id in ids {
+            let s = self.servers.get_mut(&id).expect("listed");
+            spans_in_flight += s.open;
+            if let Some(a) = s.open_min() {
+                min_wm = min_wm.min(a);
+            }
+            state_bytes += s.state_bytes();
+            servers.push(ServerSnapshot {
+                server: s.server,
+                finalized: s.finalized,
+                congested_now: s.congested_now,
+                live_nstar: s.live_nstar.as_ref().map(|e| e.nstar),
+                open_requests: s.open,
+                last_load: s.last_load,
+                last_rate: s.last_rate,
+                congested_intervals: s.live_congested,
+                frozen_intervals: s.live_frozen,
+            });
+        }
+        MonitorSnapshot {
+            at: SimTime::from_micros(cur_us),
+            records: self.records,
+            spans_in_flight,
+            lag: SimTime::from_micros(cur_us) - SimTime::from_micros(min_wm),
+            state_bytes,
+            servers,
+        }
+    }
+
+    /// Estimated bytes of detector state.
+    pub fn state_bytes(&self) -> usize {
+        self.servers.values().map(ServerState::state_bytes).sum()
+    }
+
+    /// Ends the stream at `end`, resolving the grid to
+    /// `Window::new(start, end, interval)`: finalizes every whole interval,
+    /// drops accumulators past the grid (the unclamped-accumulation
+    /// counterpart of the batch grid-end clamp), counts still-open
+    /// requests as unmatched, and — with `retain` — refits N\* over the
+    /// full run and re-classifies, reproducing `analyze_server`
+    /// bit-for-bit. Reports are ordered by server id; verdicts emitted by
+    /// the tail finalization ride along in [`OnlineFinish::events`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start` (the `Window::new` contract).
+    pub fn finish(mut self, end: SimTime) -> OnlineFinish {
+        let window = Window::new(self.cfg.start, end, self.cfg.interval);
+        let len = window.len();
+        let mut ids: Vec<u16> = self.servers.keys().copied().collect();
+        ids.sort_unstable();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            let mut state = self.servers.remove(&id).expect("listed");
+            // Requests still open at stream end never become spans; the
+            // batch extractor counts them unmatched.
+            state.unmatched += state.open;
+            Self::finalize_to(
+                &mut state,
+                len,
+                self.cur_us,
+                self.start_us,
+                self.ilen_us,
+                self.interval_secs,
+                &self.cfg,
+                &mut self.events,
+            );
+            state.ring.clear();
+            if self.cfg.retain {
+                state.loads.truncate(len);
+                state.rates.truncate(len);
+            }
+            let (nstar, states) = if self.cfg.retain {
+                let nstar = fit_mainseq(&state.loads, &state.rates, &self.cfg.detector);
+                let states = classify_values(
+                    &state.loads,
+                    &state.rates,
+                    nstar.as_ref(),
+                    &self.cfg.detector,
+                );
+                (nstar, states)
+            } else {
+                (None, Vec::new())
+            };
+            out.push(OnlineReport {
+                server: state.server,
+                window,
+                nstar,
+                states,
+                loads: state.loads,
+                rates: state.rates,
+                matched: state.matched,
+                unmatched: state.unmatched,
+                live_congested: state.live_congested,
+                live_frozen: state.live_frozen,
+            });
+        }
+        OnlineFinish {
+            reports: out,
+            events: std::mem::take(&mut self.events),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::analyze_server;
+    use fgbd_trace::{ConnId, NodeKind, NodeMeta, SpanSet, TraceLog};
+
+    fn rec(at_us: u64, src: u16, dst: u16, kind: MsgKind, conn: u32, class: u16) -> MsgRecord {
+        MsgRecord {
+            at: SimTime::from_micros(at_us),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            kind,
+            conn: ConnId(conn),
+            class: ClassId(class),
+            bytes: 100,
+            truth: None,
+        }
+    }
+
+    fn nodes() -> Vec<NodeMeta> {
+        vec![
+            NodeMeta {
+                id: NodeId(0),
+                name: "client".into(),
+                kind: NodeKind::Client,
+                tier: None,
+            },
+            NodeMeta {
+                id: NodeId(1),
+                name: "web".into(),
+                kind: NodeKind::Server,
+                tier: Some(0),
+            },
+        ]
+    }
+
+    /// A record stream with an idle phase, a steady phase, and a burst of
+    /// overlapping requests (congestion), all on reused connections.
+    fn demo_records() -> Vec<MsgRecord> {
+        let mut recs = Vec::new();
+        // Steady: serial requests on conn 1, 10 ms residence each.
+        for i in 0..100u64 {
+            recs.push(rec(i * 20_000, 0, 1, MsgKind::Request, 1, 0));
+            recs.push(rec(i * 20_000 + 10_000, 1, 0, MsgKind::Response, 1, 0));
+        }
+        // Burst at 2.0 s: 30 overlapping requests on conns 10..40 that all
+        // drain slowly (transient congestion).
+        for j in 0..30u64 {
+            recs.push(rec(
+                2_000_000 + j * 100,
+                0,
+                1,
+                MsgKind::Request,
+                10 + j as u32,
+                0,
+            ));
+        }
+        for j in 0..30u64 {
+            recs.push(rec(
+                2_200_000 + j * 8_000,
+                1,
+                0,
+                MsgKind::Response,
+                10 + j as u32,
+                0,
+            ));
+        }
+        // Post-burst steady tail.
+        for i in 0..20u64 {
+            recs.push(rec(2_500_000 + i * 20_000, 0, 1, MsgKind::Request, 1, 0));
+            recs.push(rec(
+                2_500_000 + i * 20_000 + 10_000,
+                1,
+                0,
+                MsgKind::Response,
+                1,
+                0,
+            ));
+        }
+        recs.sort_by_key(|r| r.at);
+        recs
+    }
+
+    fn services() -> ServiceTimeTable {
+        let mut t = ServiceTimeTable::new();
+        t.insert(NodeId(1), ClassId(0), SimDuration::from_millis(10));
+        t
+    }
+
+    fn online_cfg() -> OnlineConfig {
+        OnlineConfig::new(
+            SimTime::ZERO,
+            SimDuration::from_millis(50),
+            SimDuration::from_millis(10),
+        )
+    }
+
+    #[test]
+    fn final_report_matches_batch_bit_for_bit() {
+        let recs = demo_records();
+        let end = SimTime::from_millis(2_930);
+        // Batch path: materialize, extract, analyze.
+        let mut log = TraceLog::new(nodes());
+        for r in &recs {
+            log.push(*r);
+        }
+        let spans = SpanSet::extract(&log);
+        let window = Window::new(SimTime::ZERO, end, SimDuration::from_millis(50));
+        let batch = analyze_server(
+            spans.server(NodeId(1)),
+            NodeId(1),
+            window,
+            &services(),
+            SimDuration::from_millis(10),
+            &DetectorConfig::default(),
+        );
+        // Online path: push the same records one at a time.
+        let mut online = OnlineDetector::new(online_cfg(), services());
+        for r in &recs {
+            online.push(r);
+        }
+        let reports = online.finish(end).reports;
+        assert_eq!(reports.len(), 1);
+        let rep = &reports[0];
+        assert_eq!(rep.server, NodeId(1));
+        assert_eq!(rep.loads.len(), window.len());
+        for i in 0..window.len() {
+            assert_eq!(
+                rep.loads[i].to_bits(),
+                batch.load.get(i).to_bits(),
+                "load bits diverge at interval {i}"
+            );
+            assert_eq!(
+                rep.rates[i].to_bits(),
+                batch.tput.unit_rate(i).to_bits(),
+                "rate bits diverge at interval {i}"
+            );
+        }
+        assert_eq!(rep.states, batch.states);
+        match (&rep.nstar, &batch.nstar) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.nstar.to_bits(), b.nstar.to_bits());
+                assert_eq!(a.tp_max.to_bits(), b.tp_max.to_bits());
+            }
+            (a, b) => assert_eq!(a.is_none(), b.is_none()),
+        }
+        assert_eq!(rep.matched as usize, spans.server(NodeId(1)).len());
+        assert_eq!(rep.unmatched, 0);
+    }
+
+    #[test]
+    fn chunking_does_not_change_results_or_events() {
+        let recs = demo_records();
+        let end = SimTime::from_millis(2_930);
+        let run = |chunk: usize| {
+            let mut online = OnlineDetector::new(online_cfg(), services());
+            let mut events = Vec::new();
+            for c in recs.chunks(chunk) {
+                online.push_chunk(c);
+                events.extend(online.drain_events());
+            }
+            let fin = online.finish(end);
+            events.extend(fin.events);
+            (fin.reports, events)
+        };
+        let (rep1, ev1) = run(1);
+        let (rep7, ev7) = run(7);
+        let (rep_all, ev_all) = run(recs.len());
+        assert_eq!(rep1[0].states, rep7[0].states);
+        assert_eq!(rep1[0].states, rep_all[0].states);
+        for (a, b) in [(&ev1, &ev7), (&ev1, &ev_all)] {
+            assert_eq!(a.len(), b.len(), "event counts diverge");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.kind, y.kind);
+                assert_eq!(x.interval, y.interval);
+                assert_eq!(x.server, y.server);
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_stream_alternates_and_measures_latency() {
+        let recs = demo_records();
+        let mut cfg = online_cfg();
+        cfg.live_window = 40;
+        cfg.refit_every = 8;
+        let mut online = OnlineDetector::new(cfg, services());
+        let mut events = Vec::new();
+        for r in &recs {
+            online.push(r);
+            events.extend(online.drain_events());
+        }
+        for (i, e) in events.iter().enumerate() {
+            let expect = if i % 2 == 0 {
+                VerdictKind::Onset
+            } else {
+                VerdictKind::Clear
+            };
+            assert_eq!(e.kind, expect, "event {i} out of order");
+            assert!(e.detect_latency >= SimDuration::ZERO);
+        }
+        if let Some(onset) = events.first() {
+            assert_eq!(onset.kind, VerdictKind::Onset);
+            assert!(onset.interval_end > SimTime::from_millis(2_000));
+        }
+    }
+
+    #[test]
+    fn unmatched_rules_match_batch() {
+        // A front-truncated response and a never-answered request.
+        let recs = vec![
+            rec(100, 1, 0, MsgKind::Response, 9, 0),
+            rec(200, 0, 1, MsgKind::Request, 1, 0),
+            rec(300, 1, 0, MsgKind::Response, 1, 0),
+            rec(400, 0, 1, MsgKind::Request, 2, 0),
+        ];
+        let mut log = TraceLog::new(nodes());
+        for r in &recs {
+            log.push(*r);
+        }
+        let spans = SpanSet::extract(&log);
+        let mut online = OnlineDetector::new(online_cfg(), services());
+        for r in &recs {
+            online.push(r);
+        }
+        let reports = online.finish(SimTime::from_millis(50)).reports;
+        assert_eq!(
+            reports[0].unmatched,
+            *spans.unmatched.get(&NodeId(1)).unwrap()
+        );
+        assert_eq!(reports[0].matched, 1);
+    }
+
+    #[test]
+    fn snapshot_tracks_in_flight_and_lag() {
+        let mut online = OnlineDetector::new(online_cfg(), services());
+        online.push(&rec(10_000, 0, 1, MsgKind::Request, 1, 0));
+        online.push(&rec(500_000, 0, 1, MsgKind::Request, 2, 0));
+        let snap = online.snapshot();
+        assert_eq!(snap.spans_in_flight, 2);
+        // Watermark pinned at the oldest open arrival.
+        assert_eq!(snap.lag, SimDuration::from_micros(490_000));
+        assert_eq!(snap.servers.len(), 1);
+        assert_eq!(snap.servers[0].open_requests, 2);
+        assert!(snap.state_bytes > 0);
+    }
+
+    #[test]
+    fn heap_compaction_bounds_state_under_pinned_watermark() {
+        // One ancient open request pins the watermark while other
+        // connections churn; the heap must not grow with the churn.
+        let mut online = OnlineDetector::new(online_cfg(), services());
+        online.push(&rec(0, 0, 1, MsgKind::Request, 999, 0));
+        for i in 0..10_000u64 {
+            let t = 1_000 + i * 100;
+            online.push(&rec(t, 0, 1, MsgKind::Request, 1 + (i % 8) as u32, 0));
+            online.push(&rec(t + 50, 1, 0, MsgKind::Response, 1 + (i % 8) as u32, 0));
+        }
+        let state = online.servers.get(&1).unwrap();
+        assert!(
+            state.heap.len() <= 2 * state.open + 16,
+            "heap grew to {} with {} open",
+            state.heap.len(),
+            state.open
+        );
+        // The ring grows while the watermark is pinned (correctness over
+        // memory until the request resolves) — resolve it and the ring
+        // drains.
+        online.push(&rec(2_000_000, 1, 0, MsgKind::Response, 999, 0));
+        let state = online.servers.get(&1).unwrap();
+        assert!(state.finalized > 0, "watermark released finalization");
+        assert!(
+            state.ring.len() <= 2,
+            "ring drained after release: {}",
+            state.ring.len()
+        );
+    }
+
+    #[test]
+    fn bounded_mode_skips_retained_series() {
+        let recs = demo_records();
+        let mut cfg = online_cfg();
+        cfg.retain = false;
+        let mut online = OnlineDetector::new(cfg, services());
+        for r in &recs {
+            online.push(r);
+        }
+        let reports = online.finish(SimTime::from_millis(2_930)).reports;
+        assert!(reports[0].loads.is_empty());
+        assert!(reports[0].states.is_empty());
+        assert!(reports[0].nstar.is_none());
+        assert!(reports[0].matched > 0);
+    }
+}

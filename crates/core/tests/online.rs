@@ -1,0 +1,240 @@
+//! Property tests of the online/batch equivalence contract
+//! (`fgbd_core::online` module docs): for any time-ordered record stream,
+//! any chunking, any interval length and any live-window width, the
+//! retained final report is **bit-for-bit** what `analyze_server` computes
+//! from the materialized capture, and the live verdict stream does not
+//! depend on how the stream was chunked.
+
+use fgbd_core::detect::{analyze_server, DetectorConfig};
+use fgbd_core::online::{OnlineConfig, OnlineDetector};
+use fgbd_core::series::Window;
+use fgbd_des::{SimDuration, SimTime};
+use fgbd_trace::servicetime::ServiceTimeTable;
+use fgbd_trace::{
+    ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, SpanSet, TraceLog,
+};
+use proptest::prelude::*;
+
+const WEB: NodeId = NodeId(1);
+const DB: NodeId = NodeId(2);
+const WU_WEB_US: u64 = 10_000;
+const WU_DB_US: u64 = 700;
+
+fn nodes() -> Vec<NodeMeta> {
+    vec![
+        NodeMeta {
+            id: NodeId(0),
+            name: "client".into(),
+            kind: NodeKind::Client,
+            tier: None,
+        },
+        NodeMeta {
+            id: WEB,
+            name: "web".into(),
+            kind: NodeKind::Server,
+            tier: Some(0),
+        },
+        NodeMeta {
+            id: DB,
+            name: "db".into(),
+            kind: NodeKind::Server,
+            tier: Some(1),
+        },
+    ]
+}
+
+fn services() -> ServiceTimeTable {
+    let mut t = ServiceTimeTable::new();
+    // Classes 0 and 1 are calibrated; class 2 exercises the residence
+    // fallback on both servers.
+    t.insert(WEB, ClassId(0), SimDuration::from_millis(8));
+    t.insert(WEB, ClassId(1), SimDuration::from_millis(3));
+    t.insert(DB, ClassId(0), SimDuration::from_micros(900));
+    t.insert(DB, ClassId(1), SimDuration::from_micros(450));
+    t
+}
+
+/// A time-ordered record stream of request/response pairs over two
+/// servers and a handful of reused connections, plus a few
+/// front-truncated responses (records whose request predates the
+/// stream). Overlapping requests on one connection are fine: both
+/// extractors pair FIFO per `(server, connection)` by construction.
+fn record_stream() -> impl Strategy<Value = Vec<MsgRecord>> {
+    let pair = (
+        0u64..3_000_000,
+        1u64..400_000,
+        0u32..4,
+        0u16..3,
+        prop::bool::ANY,
+    );
+    let orphan = (0u64..100_000, 0u32..4, prop::bool::ANY);
+    (
+        prop::collection::vec(pair, 1..140),
+        prop::collection::vec(orphan, 0..4),
+    )
+        .prop_map(|(pairs, orphans)| {
+            let mut recs = Vec::new();
+            for (a, dur, conn, class, second) in pairs {
+                let server = if second { DB } else { WEB };
+                let base = MsgRecord {
+                    at: SimTime::from_micros(a),
+                    src: NodeId(0),
+                    dst: server,
+                    kind: MsgKind::Request,
+                    conn: ConnId(conn),
+                    class: ClassId(class),
+                    bytes: 64,
+                    truth: None,
+                };
+                recs.push(base);
+                recs.push(MsgRecord {
+                    at: SimTime::from_micros(a + dur),
+                    src: server,
+                    dst: NodeId(0),
+                    kind: MsgKind::Response,
+                    ..base
+                });
+            }
+            for (a, conn, second) in orphans {
+                let server = if second { DB } else { WEB };
+                recs.push(MsgRecord {
+                    at: SimTime::from_micros(a),
+                    src: server,
+                    dst: NodeId(0),
+                    kind: MsgKind::Response,
+                    conn: ConnId(100 + conn),
+                    class: ClassId(0),
+                    bytes: 64,
+                    truth: None,
+                });
+            }
+            // Stable by arrival time: ties keep generation order, and both
+            // consumers read the identical sequence.
+            recs.sort_by_key(|r| r.at);
+            recs
+        })
+}
+
+fn online_config(interval_us: u64, live_window: usize) -> OnlineConfig {
+    let mut cfg = OnlineConfig::new(
+        SimTime::ZERO,
+        SimDuration::from_micros(interval_us),
+        SimDuration::from_micros(WU_WEB_US),
+    );
+    cfg.live_window = live_window;
+    cfg.refit_every = 16;
+    cfg
+}
+
+fn run_online(
+    recs: &[MsgRecord],
+    end: SimTime,
+    interval_us: u64,
+    live_window: usize,
+    chunk: usize,
+) -> fgbd_core::online::OnlineFinish {
+    let mut online = OnlineDetector::new(online_config(interval_us, live_window), services());
+    online.set_work_unit(DB, SimDuration::from_micros(WU_DB_US));
+    for c in recs.chunks(chunk.max(1)) {
+        online.push_chunk(c);
+    }
+    online.finish(end)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole equivalence property: retained online reports equal
+    /// the batch analysis bit-for-bit — loads, rates, states, N\*, and the
+    /// unmatched accounting — for every server, across interval lengths,
+    /// live-window widths and chunk sizes (which must all be irrelevant
+    /// to the final report).
+    #[test]
+    fn online_final_report_is_bitwise_batch(
+        recs in record_stream(),
+        iv_pick in 0usize..3,
+        lw_pick in 0usize..3,
+        chunk_pick in 0usize..3,
+    ) {
+        let interval_us = [10_000u64, 50_000, 130_000][iv_pick];
+        let live_window = [8usize, 64, 1024][lw_pick];
+        let chunk = [1usize, 17, 4096][chunk_pick];
+        let end = SimTime::from_micros(
+            recs.last().map_or(0, |r| r.at.as_micros()) + interval_us,
+        );
+        let mut log = TraceLog::new(nodes());
+        for r in &recs {
+            log.push(*r);
+        }
+        let spans = SpanSet::extract(&log);
+        let window = Window::new(SimTime::ZERO, end, SimDuration::from_micros(interval_us));
+        let fin = run_online(&recs, end, interval_us, live_window, chunk);
+        let dcfg = DetectorConfig::default();
+        for rep in &fin.reports {
+            let wu = if rep.server == DB { WU_DB_US } else { WU_WEB_US };
+            let batch = analyze_server(
+                spans.server(rep.server),
+                rep.server,
+                window,
+                &services(),
+                SimDuration::from_micros(wu),
+                &dcfg,
+            );
+            prop_assert_eq!(rep.loads.len(), window.len());
+            for i in 0..window.len() {
+                prop_assert_eq!(
+                    rep.loads[i].to_bits(),
+                    batch.load.get(i).to_bits(),
+                    "load bits diverge: server {:?} interval {}",
+                    rep.server,
+                    i
+                );
+                prop_assert_eq!(
+                    rep.rates[i].to_bits(),
+                    batch.tput.unit_rate(i).to_bits(),
+                    "rate bits diverge: server {:?} interval {}",
+                    rep.server,
+                    i
+                );
+            }
+            prop_assert_eq!(&rep.states, &batch.states);
+            match (&rep.nstar, &batch.nstar) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.nstar.to_bits(), b.nstar.to_bits());
+                    prop_assert_eq!(a.tp_max.to_bits(), b.tp_max.to_bits());
+                }
+                (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+            }
+            prop_assert_eq!(rep.matched as usize, spans.server(rep.server).len());
+            prop_assert_eq!(
+                rep.unmatched,
+                spans.unmatched.get(&rep.server).copied().unwrap_or(0)
+            );
+        }
+    }
+
+    /// Chunk-size invariance of the *live* surface: the verdict event
+    /// stream (kind, server, interval) is identical whether records
+    /// arrive one at a time or in bulk.
+    #[test]
+    fn verdict_stream_is_chunk_invariant(
+        recs in record_stream(),
+        lw_pick in 0usize..2,
+    ) {
+        let live_window = [8usize, 64][lw_pick];
+        let interval_us = 50_000;
+        let end = SimTime::from_micros(
+            recs.last().map_or(0, |r| r.at.as_micros()) + interval_us,
+        );
+        let one = run_online(&recs, end, interval_us, live_window, 1);
+        let bulk = run_online(&recs, end, interval_us, live_window, 4096);
+        prop_assert_eq!(one.events.len(), bulk.events.len());
+        for (a, b) in one.events.iter().zip(&bulk.events) {
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.server, b.server);
+            prop_assert_eq!(a.interval, b.interval);
+            prop_assert_eq!(a.load.to_bits(), b.load.to_bits());
+            prop_assert_eq!(a.rate.to_bits(), b.rate.to_bits());
+        }
+    }
+}

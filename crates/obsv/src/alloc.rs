@@ -15,10 +15,17 @@
 //! let during = GLOBAL.allocs() - before;
 //! ```
 //!
-//! Only allocation *events* are counted (alloc, realloc, alloc_zeroed) —
-//! one relaxed `fetch_add` each; deallocation is passthrough. The gauge
-//! is always live once installed; it does not consult [`crate::enabled`]
-//! because the counting itself is the opt-in.
+//! Two things are tracked, each one relaxed atomic RMW per operation:
+//!
+//! * allocation *events* (alloc, realloc, alloc_zeroed) — the
+//!   steady-state "does this loop allocate?" audit;
+//! * *live bytes* and their high-water mark — the bounded-memory audit
+//!   the online monitor's flat-memory test uses ([`AllocGauge::peak_bytes`]
+//!   relative to a [`AllocGauge::reset_peak`] baseline approximates VmHWM
+//!   without reading `/proc`, and works on any platform).
+//!
+//! The gauge is always live once installed; it does not consult
+//! [`crate::enabled`] because the counting itself is the opt-in.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,6 +34,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug)]
 pub struct AllocGauge {
     allocs: AtomicU64,
+    live: AtomicU64,
+    peak: AtomicU64,
 }
 
 impl AllocGauge {
@@ -35,6 +44,8 @@ impl AllocGauge {
     pub const fn new() -> AllocGauge {
         AllocGauge {
             allocs: AtomicU64::new(0),
+            live: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
         }
     }
 
@@ -42,27 +53,72 @@ impl AllocGauge {
     pub fn allocs(&self) -> u64 {
         self.allocs.load(Ordering::Relaxed)
     }
+
+    /// Bytes currently allocated and not yet freed.
+    pub fn live_bytes(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`AllocGauge::live_bytes`] since process start
+    /// (or the last [`AllocGauge::reset_peak`]).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Restarts the high-water mark from the current live size, so a test
+    /// can measure the peak of one section in isolation.
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn grow(&self, bytes: u64) {
+        let now = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn shrink(&self, bytes: u64) {
+        self.live.fetch_sub(bytes, Ordering::Relaxed);
+    }
 }
 
-// SAFETY: defers to `System` for every operation; only adds a counter.
+// SAFETY: defers to `System` for every operation; only adds counters.
 unsafe impl GlobalAlloc for AllocGauge {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            self.grow(layout.size() as u64);
+        }
+        p
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        self.shrink(layout.size() as u64);
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            // Success moves the block: the old size is gone, the new size
+            // is live. (On failure the original block stays untouched.)
+            self.shrink(layout.size() as u64);
+            self.grow(new_size as u64);
+        }
+        p
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc_zeroed(layout) }
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            self.grow(layout.size() as u64);
+        }
+        p
     }
 }
 
@@ -79,13 +135,21 @@ mod tests {
         unsafe {
             let p = gauge.alloc(layout);
             assert!(!p.is_null());
+            assert_eq!(gauge.live_bytes(), 64);
             let p = gauge.realloc(p, layout, 128);
             assert!(!p.is_null());
+            assert_eq!(gauge.live_bytes(), 128);
             gauge.dealloc(p, Layout::from_size_align(128, 8).unwrap());
             let q = gauge.alloc_zeroed(layout);
             assert!(!q.is_null());
             gauge.dealloc(q, layout);
         }
         assert_eq!(gauge.allocs(), 3);
+        assert_eq!(gauge.live_bytes(), 0);
+        // Peak saw the 128-byte realloc high point and survives the frees…
+        assert_eq!(gauge.peak_bytes(), 128);
+        // …until reset re-anchors it at the (now zero) live size.
+        gauge.reset_peak();
+        assert_eq!(gauge.peak_bytes(), 0);
     }
 }

@@ -1,0 +1,87 @@
+//! Line-oriented JSON event files (`*.jsonl`).
+//!
+//! One [`crate::json::Json`] document per line, compact-rendered, flushed
+//! per write so a tailing consumer (or a crashed run's post-mortem) sees
+//! every event that was emitted. Used by the live monitor for its
+//! heartbeat and verdict streams under `out/monitor/`.
+//!
+//! Writes are **independent of quiet mode** by design: `--quiet` mutes
+//! the terminal [`crate::log!`] sink, not on-disk artifacts (the same
+//! contract as run manifests and experiment summaries).
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+
+/// An append-only writer of newline-delimited JSON events.
+#[derive(Debug)]
+pub struct JsonlWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    lines: u64,
+}
+
+impl JsonlWriter {
+    /// Creates (truncating) `path`, making parent directories as needed.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlWriter> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonlWriter {
+            path: path.to_path_buf(),
+            out: BufWriter::new(File::create(path)?),
+            lines: 0,
+        })
+    }
+
+    /// Appends one compact-rendered document as a line and flushes it.
+    pub fn write(&mut self, doc: &Json) -> io::Result<()> {
+        self.out.write_all(doc.render().as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.out.flush()?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_one_flushed_compact_line_per_document() {
+        let dir = std::env::temp_dir().join(format!("fgbd-jsonl-{}", std::process::id()));
+        let path = dir.join("nested/events.jsonl");
+        let mut w = JsonlWriter::create(&path).unwrap();
+        for i in 0..3u32 {
+            let doc = Json::Obj(vec![
+                ("seq".into(), Json::Num(f64::from(i))),
+                ("kind".into(), Json::Str("onset".into())),
+            ]);
+            w.write(&doc).unwrap();
+        }
+        assert_eq!(w.lines(), 3);
+        // Flushed per write: readable without dropping the writer.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], r#"{"seq":1,"kind":"onset"}"#);
+        drop(w);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

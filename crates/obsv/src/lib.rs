@@ -11,8 +11,11 @@
 //!   collection. Spans opened on [`par_map`]-style worker threads merge
 //!   into the caller's tree via [`span::adopt_path`] /
 //!   [`span::flush_thread`].
-//! * [`counter!`] / [`histogram!`] — monotonic counters and fixed-bucket
-//!   log2 histograms, registered lazily and cached per call site.
+//! * [`counter!`] / [`histogram!`] / [`gauge!`] — monotonic counters,
+//!   fixed-bucket log2 histograms, and last-value gauges, registered
+//!   lazily and cached per call site.
+//! * [`jsonl::JsonlWriter`] — flushed-per-line JSON event files (the
+//!   live monitor's heartbeat and verdict streams).
 //! * [`alloc::AllocGauge`] — an opt-in counting `#[global_allocator]`
 //!   wrapper (the technique from the steady-state allocation tests).
 //! * [`manifest::RunManifest`] — one structured JSON document per run
@@ -34,6 +37,7 @@
 
 pub mod alloc;
 pub mod json;
+pub mod jsonl;
 pub mod manifest;
 pub mod metrics;
 pub mod sink;
@@ -156,6 +160,30 @@ macro_rules! histogram {
             OBSV_HISTOGRAM
                 .get_or_init(|| $crate::metrics::histogram($name))
                 .record(($v) as u64);
+        }
+    };
+}
+
+/// Sets a named last-value gauge: `gauge!("monitor.lag_us", lag as f64)`,
+/// or labeled per-tier `gauge!("monitor.window_nstar", tier_name, n)`.
+/// The unlabeled form caches the registry lookup per call site in a
+/// `OnceLock`; the labeled form accepts runtime strings (server names)
+/// and pays one registry lock per call. Both are no-ops (one relaxed
+/// load) when telemetry is disabled.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $v:expr) => {
+        if $crate::enabled() {
+            static OBSV_GAUGE: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+                ::std::sync::OnceLock::new();
+            OBSV_GAUGE
+                .get_or_init(|| $crate::metrics::gauge($name))
+                .set(($v) as f64);
+        }
+    };
+    ($name:expr, $label:expr, $v:expr) => {
+        if $crate::enabled() {
+            $crate::metrics::gauge_labeled($name, $label).set(($v) as f64);
         }
     };
 }

@@ -21,6 +21,7 @@
 //!     "des.events_per_run": {"count": 1, "sum": 123,
 //!                            "buckets": [[64, 1]]}
 //!   },
+//!   "gauges": {"monitor.lag_us": 1200.0}, // last-value gauges (optional)
 //!   "artifacts": ["target/experiments/fig06.csv"]
 //! }
 //! ```
@@ -160,6 +161,16 @@ impl RunManifest {
             ),
         ));
         members.push((
+            "gauges".to_string(),
+            Json::Obj(
+                metrics
+                    .gauges
+                    .iter()
+                    .map(|(k, &bits)| (k.clone(), Json::Num(f64::from_bits(bits))))
+                    .collect(),
+            ),
+        ));
+        members.push((
             "artifacts".to_string(),
             Json::Arr(self.artifacts.iter().cloned().map(Json::Str).collect()),
         ));
@@ -225,6 +236,16 @@ pub fn exposition(spans: &SpanSnapshot, metrics: &MetricsSnapshot) -> String {
             "fgbd_counter_total{{name=\"{}\"}} {v}\n",
             prom_escape(name)
         ));
+    }
+    if !metrics.gauges.is_empty() {
+        out.push_str("# TYPE fgbd_gauge gauge\n");
+        for (name, &bits) in &metrics.gauges {
+            out.push_str(&format!(
+                "fgbd_gauge{{name=\"{}\"}} {}\n",
+                prom_escape(name),
+                f64::from_bits(bits)
+            ));
+        }
     }
     out.push_str("# TYPE fgbd_histogram_samples_total counter\n");
     for (name, h) in &metrics.histograms {
@@ -323,6 +344,18 @@ pub fn validate(doc: &Json) -> Result<(), String> {
     for (k, v) in counters {
         if v.as_f64().is_none() {
             return Err(format!("counter '{k}' is not numeric"));
+        }
+    }
+    // 'gauges' is optional (added after v1 manifests shipped) but must be
+    // a numeric-valued object when present.
+    if let Some(gauges) = doc.get("gauges") {
+        let obj = gauges
+            .as_obj()
+            .ok_or_else(|| "'gauges' must be an object".to_string())?;
+        for (k, v) in obj {
+            if v.as_f64().is_none() {
+                return Err(format!("gauge '{k}' is not numeric"));
+            }
         }
     }
     let artifacts = doc

@@ -1,11 +1,15 @@
-//! Monotonic counters and fixed-bucket log2 histograms.
+//! Monotonic counters, fixed-bucket log2 histograms, and last-value
+//! gauges.
 //!
 //! Instruments are registered lazily by `&'static str` name (plus an
 //! optional `&'static str` label) and live for the process lifetime, so
 //! call sites can cache the returned reference in a `OnceLock` — the
 //! [`crate::counter!`] and [`crate::histogram!`] macros do exactly that.
 //! All updates are single relaxed atomic RMWs; totals are exact under
-//! arbitrary thread interleavings because addition commutes.
+//! arbitrary thread interleavings because addition commutes. Gauges are
+//! the exception to the static-label rule: the live monitor labels them
+//! with runtime server names, so their registry is keyed by owned
+//! strings and the lookup re-hashes per call.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,6 +92,33 @@ impl Histogram {
     }
 }
 
+/// A last-value gauge: the most recent `set` wins. Values are `f64`
+/// stored as raw bits so reads and writes stay single relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge (reads as `0.0`).
+    pub const fn new() -> Gauge {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Replaces the current value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
 type Key = (&'static str, &'static str);
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -141,6 +172,25 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
         .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
 }
 
+fn gauges() -> &'static Mutex<BTreeMap<(&'static str, String), &'static Gauge>> {
+    static R: OnceLock<Mutex<BTreeMap<(&'static str, String), &'static Gauge>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The gauge named `name`, registering it on first use.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    gauge_labeled(name, "")
+}
+
+/// The `(name, label)` gauge. Unlike counters the label may be a
+/// runtime string (e.g. a server name), so this looks up the registry on
+/// every call — gauges are set at heartbeat cadence, not in hot loops.
+pub fn gauge_labeled(name: &'static str, label: &str) -> &'static Gauge {
+    lock(gauges())
+        .entry((name, label.to_string()))
+        .or_insert_with(|| Box::leak(Box::new(Gauge::new())))
+}
+
 /// A histogram's contents at snapshot time.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistSnapshot {
@@ -152,14 +202,17 @@ pub struct HistSnapshot {
     pub buckets: Vec<(u64, u64)>,
 }
 
-/// A point-in-time copy of every registered counter and histogram, keyed
-/// by `name` or `name{label}`.
+/// A point-in-time copy of every registered counter, histogram, and
+/// gauge, keyed by `name` or `name{label}`.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Counter totals.
     pub counters: BTreeMap<String, u64>,
     /// Histogram contents.
     pub histograms: BTreeMap<String, HistSnapshot>,
+    /// Gauge values as raw `f64` bits (`f64::to_bits`) — bits rather than
+    /// floats so the snapshot stays `Eq` and comparisons are exact.
+    pub gauges: BTreeMap<String, u64>,
 }
 
 fn key_string((name, label): Key) -> String {
@@ -195,9 +248,21 @@ pub fn snapshot() -> MetricsSnapshot {
             )
         })
         .collect();
+    let gauges = lock(gauges())
+        .iter()
+        .map(|((name, label), g)| {
+            let key = if label.is_empty() {
+                (*name).to_string()
+            } else {
+                format!("{name}{{{label}}}")
+            };
+            (key, g.get().to_bits())
+        })
+        .collect();
     MetricsSnapshot {
         counters,
         histograms,
+        gauges,
     }
 }
 
@@ -244,9 +309,19 @@ impl MetricsSnapshot {
                 ))
             })
             .collect();
+        // Gauges are instantaneous, not cumulative: the "delta" keeps the
+        // current value, but only for gauges that moved (or appeared)
+        // since `earlier` — untouched gauges belong to other runs.
+        let gauges = self
+            .gauges
+            .iter()
+            .filter(|&(k, &bits)| earlier.gauges.get(k) != Some(&bits))
+            .map(|(k, &bits)| (k.clone(), bits))
+            .collect();
         MetricsSnapshot {
             counters,
             histograms,
+            gauges,
         }
     }
 }
@@ -307,6 +382,32 @@ mod tests {
         assert_eq!(d2.counters.get("t_metrics_retained"), Some(&2));
         // Identity with the plain registration path.
         assert!(std::ptr::eq(c, counter("t_metrics_retained")));
+    }
+
+    #[test]
+    fn gauges_hold_the_last_value_and_delta_on_change() {
+        let g = gauge_labeled("t_metrics_gauge", "mysql-1");
+        g.set(3.5);
+        g.set(7.25);
+        assert_eq!(g.get(), 7.25);
+        // Same (name, label) resolves to the same instance even though the
+        // label is a runtime string.
+        assert!(std::ptr::eq(g, gauge_labeled("t_metrics_gauge", "mysql-1")));
+        let before = snapshot();
+        assert_eq!(
+            before.gauges.get("t_metrics_gauge{mysql-1}"),
+            Some(&7.25f64.to_bits())
+        );
+        // Unchanged since `before` -> dropped from the delta; changed ->
+        // the delta carries the new value, not a difference.
+        let unchanged = snapshot().delta(&before);
+        assert!(!unchanged.gauges.contains_key("t_metrics_gauge{mysql-1}"));
+        g.set(-1.0);
+        let moved = snapshot().delta(&before);
+        assert_eq!(
+            moved.gauges.get("t_metrics_gauge{mysql-1}"),
+            Some(&(-1.0f64).to_bits())
+        );
     }
 
     #[test]

@@ -5,11 +5,22 @@
 //!
 //! ```bash
 //! cargo run -p fgbd-repro --release --bin analyze_capture -- \
-//!     capture.fgbdcap [interval_ms] [--quiet]
+//!     capture.fgbdcap [interval_ms] [--follow] [--verdicts out.jsonl] [--quiet]
 //! ```
+//!
+//! `--follow` tails a capture that is **still being written** (a growing
+//! file, or a FIFO fed by a live writer): records are decoded as their
+//! bytes land and pushed through the streaming monitor pipeline
+//! ([`fgbd_repro::monitor`]), printing provisional onset/clear verdicts
+//! incrementally; once the writer's footer appears (or the
+//! `FGBD_FOLLOW_IDLE_MS` budget runs dry) the standard batch analysis runs
+//! over the complete capture. `--verdicts PATH` additionally writes the
+//! final congested-interval verdicts as JSON lines — byte-identical
+//! whether the capture was read batch or tailed, which CI exploits.
 //!
 //! A run manifest is written to `out/manifests/analyze_capture.*`.
 
+use std::collections::HashMap;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
@@ -18,15 +29,36 @@ use fgbd_core::detect::{analyze_server, rank_bottlenecks, DetectorConfig};
 use fgbd_core::series::Window;
 use fgbd_des::{SimDuration, SimTime};
 use fgbd_obsv::json::Json;
+use fgbd_obsv::jsonl::JsonlWriter;
+use fgbd_repro::monitor::{verdict_lines, MonitorConfig, MonitorRuntime};
 use fgbd_repro::pipeline::{Calibration, WORK_UNIT_RESOLUTION};
+use fgbd_trace::servicetime::ServiceTimeTable;
 use fgbd_trace::{
-    read_capture_file, read_capture_tapped, NodeKind, SpanSet, SpanStream, StreamConfig,
+    read_capture_file, read_capture_tapped, wait_for_file, NodeKind, SpanSet, SpanStream,
+    StreamConfig, TailConfig, TailReader,
 };
 
 fn main() {
-    let args = fgbd_repro::harness::parse_std_flags();
+    let mut args = fgbd_repro::harness::parse_std_flags();
+    let follow = if let Some(i) = args.iter().position(|a| a == "--follow") {
+        args.remove(i);
+        true
+    } else {
+        false
+    };
+    let verdicts_path = args.iter().position(|a| a == "--verdicts").map(|i| {
+        args.remove(i);
+        if i < args.len() {
+            args.remove(i)
+        } else {
+            eprintln!("analyze_capture: --verdicts needs a path");
+            std::process::exit(2);
+        }
+    });
     let Some(path) = args.first() else {
-        eprintln!("usage: analyze_capture <capture.fgbdcap> [interval_ms]");
+        eprintln!(
+            "usage: analyze_capture <capture.fgbdcap> [interval_ms] [--follow] [--verdicts out.jsonl]"
+        );
         std::process::exit(2);
     };
     let interval_ms: u64 = args
@@ -37,29 +69,38 @@ fn main() {
     let mut scope = fgbd_repro::harness::begin("analyze_capture");
     scope.field("capture", Json::Str(path.clone()));
     scope.field("interval_ms", Json::Num(interval_ms as f64));
+    scope.field("follow", Json::Bool(follow));
     let _root = fgbd_obsv::span::enter("analyze_capture");
 
     // Streaming front-end: overlap file decode with online span
     // extraction. The batch fallback (FGBD_STREAM=0) decodes first —
     // fanning chunked captures across FGBD_CAPTURE_THREADS workers — and
-    // extracts afterwards. Bit-identical spans either way.
-    let (log, spans) = match StreamConfig::from_env() {
-        Some(stream_cfg) => {
-            let file = File::open(path).expect("open capture file");
-            let (stream, mut sink) = SpanStream::start(&stream_cfg);
-            let log = read_capture_tapped(BufReader::new(file), |rec| sink.push(rec))
-                .expect("parse capture");
-            drop(sink);
-            let spans = {
-                fgbd_obsv::span!("stream_extract");
-                stream.finish()
-            };
-            (log, spans)
-        }
-        None => {
-            let log = read_capture_file(Path::new(path)).expect("parse capture");
-            let spans = SpanSet::extract(&log);
-            (log, spans)
+    // extracts afterwards. Bit-identical spans either way. `--follow`
+    // tails the growing file through the live monitor instead and batch
+    // extracts once the capture completes.
+    let (log, spans) = if follow {
+        let log = tail_capture(Path::new(path), interval_ms);
+        let spans = SpanSet::extract(&log);
+        (log, spans)
+    } else {
+        match StreamConfig::from_env() {
+            Some(stream_cfg) => {
+                let file = File::open(path).expect("open capture file");
+                let (stream, mut sink) = SpanStream::start(&stream_cfg);
+                let log = read_capture_tapped(BufReader::new(file), |rec| sink.push(rec))
+                    .expect("parse capture");
+                drop(sink);
+                let spans = {
+                    fgbd_obsv::span!("stream_extract");
+                    stream.finish()
+                };
+                (log, spans)
+            }
+            None => {
+                let log = read_capture_file(Path::new(path)).expect("parse capture");
+                let spans = SpanSet::extract(&log);
+                (log, spans)
+            }
         }
     };
     fgbd_obsv::log!(
@@ -185,7 +226,81 @@ fn main() {
         analyzed_until
     );
 
+    // Final verdict stream through the shared renderer — the same bytes
+    // whether the capture was read batch or tailed with `--follow`.
+    if let Some(vpath) = verdicts_path {
+        let mut w = JsonlWriter::create(&vpath).expect("create verdicts file");
+        for (name, report) in &reports {
+            for line in verdict_lines(
+                name,
+                window,
+                report.load.values(),
+                &report.tput.unit_rates(),
+                &report.states,
+                report.nstar.as_ref(),
+            ) {
+                w.write(&line).expect("write verdict line");
+            }
+        }
+        fgbd_obsv::log!(
+            "analyze_capture",
+            "   wrote {} final verdict lines to {vpath}",
+            w.lines()
+        );
+        scope.artifact(&vpath);
+    }
+
     scope.field("servers", Json::Num(reports.len() as f64));
     drop(_root);
     scope.finish();
+}
+
+/// Tails a capture that may still be growing: decodes records as their
+/// bytes land (see [`TailReader`]), feeding each through the live monitor
+/// for provisional incremental verdicts, and returns the complete log
+/// once the writer finishes. Service times are unknown until the capture
+/// completes, so the live pass runs uncalibrated — each span contributes
+/// its own residence time (capped at one work unit) and servers are
+/// labeled `server-<id>`; the batch analysis afterwards is calibrated and
+/// authoritative.
+fn tail_capture(path: &Path, interval_ms: u64) -> fgbd_trace::TraceLog {
+    let tcfg = TailConfig::from_env();
+    if !wait_for_file(path, tcfg) {
+        eprintln!(
+            "analyze_capture: {} did not appear within the follow idle budget",
+            path.display()
+        );
+        std::process::exit(1);
+    }
+    let mut mcfg = MonitorConfig::from_env().unwrap_or_default();
+    mcfg.interval = SimDuration::from_millis(interval_ms.max(1));
+    // No calibration yet: empty service table, default work unit.
+    let cal = Calibration {
+        services: ServiceTimeTable::new(),
+        work_units: HashMap::new(),
+        mean_service: HashMap::new(),
+    };
+    let mut mon = MonitorRuntime::new("analyze_capture_follow", &mcfg, SimTime::ZERO, &cal, &[])
+        .expect("create monitor outputs under out/monitor/");
+    fgbd_obsv::log!(
+        "analyze_capture",
+        "following {} (poll {:?}, idle budget {:?})",
+        path.display(),
+        tcfg.poll,
+        tcfg.idle
+    );
+    let file = File::open(path).expect("open capture file");
+    let log = {
+        fgbd_obsv::span!("tail_capture");
+        read_capture_tapped(BufReader::new(TailReader::new(file, tcfg)), |rec| {
+            let _ = mon.push(&rec);
+        })
+        .expect("parse capture")
+    };
+    if let Some(end) = log.records.last().map(|r| r.at) {
+        if end > SimTime::ZERO {
+            let _ = mon.finish(end);
+        }
+    }
+    log
 }

@@ -35,6 +35,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod monitor;
 pub mod par;
 pub mod pipeline;
 pub mod plot;
@@ -45,3 +46,18 @@ pub mod sweep;
 pub use pipeline::{Analysis, Calibration};
 pub use report::ExperimentSummary;
 pub use scenario::{simulate, Scenario, GC_JDK15, GC_JDK16, SPEEDSTEP_OFF, SPEEDSTEP_ON};
+
+/// Serializes unit tests that touch process-global state (environment
+/// variables, the telemetry quiet switch) — the test harness runs tests
+/// concurrently.
+#[cfg(test)]
+pub(crate) mod test_sync {
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn hold() -> MutexGuard<'static, ()> {
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

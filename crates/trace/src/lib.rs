@@ -57,6 +57,7 @@ pub mod record;
 pub mod servicetime;
 pub mod span;
 pub mod stream;
+pub mod tail;
 
 pub use capture::{
     read_capture, read_capture_file, read_capture_tapped, write_capture, CaptureError,
@@ -70,3 +71,4 @@ pub use record::{
 };
 pub use span::{Span, SpanSet};
 pub use stream::{SpanStream, StreamConfig, StreamSink};
+pub use tail::{wait_for_file, TailConfig, TailReader};

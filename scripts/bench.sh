@@ -7,9 +7,11 @@
 # the `event_queue` hold-model bench (timing wheel vs reference heap), the
 # `streaming_pipeline` bench (batch vs sharded online extraction), the
 # `parallel_sim` bench (sequential reference vs population-sharded lockstep
-# fleets across worker counts), and the `capture_format/chunked_*` benches
+# fleets across worker counts), the `capture_format/chunked_*` benches
 # (FGBDCAP2 columnar write + 1/4-thread parallel read vs the flat FGBDCAP1
-# baseline on the 200k-record fixture).
+# baseline on the 200k-record fixture), and the `online_detect` bench
+# (streaming per-record push at several live-window widths vs the batch
+# detector over the same materialized capture).
 #
 # If any run manifests exist under out/manifests/ (written by the
 # fgbd-repro binaries, see crates/obsv), the newest one's per-stage wall
@@ -26,6 +28,7 @@ if [ "$1" != "--no-run" ]; then
     cargo bench -p fgbd-bench --bench event_queue
     cargo bench -p fgbd-bench --bench streaming
     cargo bench -p fgbd-bench --bench parallel_sim
+    cargo bench -p fgbd-bench --bench online_detect
 fi
 
 python3 - <<'EOF'
