@@ -1,0 +1,58 @@
+//! Per-event throughput of the single-core simulate hot loop — the
+//! fused-pop dispatch, slab visit arena, packed segment plans, and
+//! completion-token rescheduling measured together, end to end, as events
+//! per second. The three scenarios pick the schedules that stress each
+//! rework: the baseline covers the common path, SpeedStep covers DVFS
+//! rescheduling (the exact-match completion-token reuse), and serial GC
+//! covers freeze churn (stale tokens plus PS spill inserts).
+//!
+//! `simulator.rs` benches wall time per *run* across workload levels; this
+//! group normalizes by event count so a change to per-event cost is
+//! visible regardless of how many events a scenario generates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use fgbd_des::{SimDuration, SimTime, Simulation};
+use fgbd_ntier::config::{Jdk, SystemConfig};
+use fgbd_ntier::system::{Ev, NTierSystem};
+
+const USERS: u32 = 1_000;
+
+fn config(jdk: Jdk, speedstep: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_1l2s1l2s(USERS, jdk, speedstep, 42);
+    cfg.warmup = SimDuration::from_secs(1);
+    cfg.duration = SimDuration::from_secs(4);
+    cfg.capture = false;
+    cfg
+}
+
+/// Runs one scenario to its horizon, returning events dispatched.
+fn run(jdk: Jdk, speedstep: bool) -> u64 {
+    let cfg = config(jdk, speedstep);
+    let horizon = SimTime::ZERO + cfg.warmup + cfg.duration;
+    let mut sim = Simulation::new(NTierSystem::new(cfg));
+    sim.prime(SimTime::ZERO, Ev::Boot);
+    sim.run_until(horizon);
+    sim.events_processed()
+}
+
+fn bench_simulate_hot_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_hot_loop");
+    group.sample_size(10);
+    for (name, jdk, speedstep) in [
+        ("baseline_jdk16", Jdk::Jdk16, false),
+        ("speedstep_dvfs", Jdk::Jdk16, true),
+        ("serial_gc_jdk15", Jdk::Jdk15, false),
+    ] {
+        let events = run(jdk, speedstep);
+        group.throughput(Throughput::Elements(events));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run(jdk, speedstep)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate_hot_loop);
+criterion_main!(benches);

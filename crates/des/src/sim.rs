@@ -38,14 +38,23 @@ impl<E> Scheduler<E> {
         self.now
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
+    /// Schedules `event` to fire at absolute time `at`, returning its FIFO
+    /// ticket (see [`Self::restamp`]).
     ///
     /// # Panics
     ///
     /// Panics if `at` is in the past — causality violations are always bugs.
-    pub fn at(&mut self, at: SimTime, event: E) {
+    pub fn at(&mut self, at: SimTime, event: E) -> u64 {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.queue.schedule(at, event);
+        self.queue.schedule(at, event)
+    }
+
+    /// Re-stamps the pending event `(at, seq)` with a fresh FIFO ticket —
+    /// the same-instant ordering a cancel-and-reschedule would produce —
+    /// and returns it. `None` if no such event is pending; the caller
+    /// should fall back to scheduling afresh.
+    pub fn restamp(&mut self, at: SimTime, seq: u64) -> Option<u64> {
+        self.queue.restamp(at, seq)
     }
 
     /// Schedules `event` to fire `delay` after the current time.
@@ -122,11 +131,11 @@ impl<A: Actor> Simulation<A> {
     /// stay queued.
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
         let before = self.events_processed;
-        while let Some(t) = self.sched.queue.peek_time() {
-            if t > horizon {
-                break;
-            }
-            let (t, ev) = self.sched.queue.pop().expect("peeked entry vanished");
+        // The horizon check rides inside the pop (`pop_at_or_before`), not a
+        // separate peek: a peek walks the same head bucket the pop is about
+        // to scan or cascade, doubling the queue's share of the per-event
+        // budget for a bounds check the wheel can answer in one comparison.
+        while let Some((t, ev)) = self.sched.queue.pop_at_or_before(horizon) {
             debug_assert!(t >= self.sched.now, "event queue went back in time");
             self.sched.now = t;
             self.actor.handle(t, ev, &mut self.sched);

@@ -85,7 +85,7 @@ fn decode_op(kind: u64, raw: u64) -> Option<u64> {
 proptest! {
     /// The timing wheel and the reference heap queue deliver bit-identical
     /// `(time, payload)` sequences — same pops, same peeks, same lengths —
-    /// under arbitrary schedule/pop/peek interleavings, including
+    /// under arbitrary schedule/pop/peek/restamp interleavings, including
     /// same-instant ties, schedules below an advanced clock (the `run_until`
     /// horizon-crossing shape: peek far ahead, decline, schedule earlier),
     /// and overflow promotions.
@@ -95,15 +95,30 @@ proptest! {
     ) {
         let mut wheel = EventQueue::new();
         let mut heap = HeapQueue::new();
+        // Every ticket ever issued, live or not: a restamp op may target a
+        // popped entry, which both queues must report as gone.
+        let mut tickets: Vec<(SimTime, u64)> = Vec::new();
         for (i, &(kind, raw)) in ops.iter().enumerate() {
             match decode_op(kind, raw) {
                 Some(t) => {
                     let t = SimTime::from_micros(t);
-                    wheel.schedule(t, i);
-                    heap.schedule(t, i);
+                    let sw = wheel.schedule(t, i);
+                    let sh = heap.schedule(t, i);
+                    prop_assert_eq!(sw, sh);
+                    tickets.push((t, sw));
                 }
                 None if kind == 7 => {
                     prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                }
+                None if kind == 6 && !tickets.is_empty() => {
+                    let k = (raw as usize) % tickets.len();
+                    let (t, seq) = tickets[k];
+                    let rw = wheel.restamp(t, seq);
+                    let rh = heap.restamp(t, seq);
+                    prop_assert_eq!(rw, rh, "restamp diverged for ({:?}, {})", t, seq);
+                    if let Some(fresh) = rw {
+                        tickets[k].1 = fresh;
+                    }
                 }
                 None => {
                     prop_assert_eq!(wheel.pop(), heap.pop());
@@ -364,4 +379,342 @@ proptest! {
             prop_assert!((-3.0..4.5).contains(&u));
         }
     }
+}
+
+use fgbd_des::ps::reference::PsIntegrator as RefPs;
+
+/// Decodes one raw op for the PS fast-vs-reference equivalence driver.
+/// Demands span ~nine decades (1e-7 .. ~5e2 work-units) so completion
+/// intervals land both below and far above the 1 us event grid.
+fn ps_demand(raw: u64) -> f64 {
+    let mant = 1.0 + ((raw >> 4) % 100) as f64 / 25.0; // 1.0 .. 4.96
+    let exp = (raw % 10) as i32 - 7; // 1e-7 .. 1e2
+    mant * 10f64.powi(exp)
+}
+
+/// Single drain step shared by the equivalence proptest: probe both
+/// integrators, insist on the same verdict, and if a completion is due,
+/// advance to it and insist on the same completion batch (order included).
+fn ps_drain_step(
+    fast: &mut PsIntegrator,
+    slow: &mut RefPs,
+    now: &mut SimTime,
+    live: &mut Vec<JobId>,
+) -> Result<bool, String> {
+    let a = fast.next_completion(*now);
+    let b = slow.next_completion(*now);
+    prop_assert_eq!(a, b, "next_completion diverged at {:?}", *now);
+    match a {
+        Some(due) => {
+            *now = due;
+            let da = fast.pop_due(*now);
+            let db = slow.pop_due(*now);
+            prop_assert_eq!(&da, &db, "completion batch diverged at {:?}", *now);
+            live.retain(|j| !da.contains(j));
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+proptest! {
+    /// The lane-based PS integrator is observably *identical* to the
+    /// heap+lazy-deletion reference — same `next_completion` instants, same
+    /// completion batches in the same order, same remaining work on
+    /// removal, same busy-core integral to the bit — across randomized
+    /// schedules of arrivals, mid-service removals, DVFS speed changes
+    /// (including on an empty integrator), GC freeze/unfreeze spans
+    /// (including spans an armed completion falls inside), and event-loop
+    /// drains. Lanes on the fast side are assigned pseudo-randomly: a lane
+    /// is a performance hint and must never become an ordering input.
+    #[test]
+    fn ps_lane_integrator_matches_reference(
+        ops in prop::collection::vec((0u64..8, 0u64..(1u64 << 32)), 1..150),
+        speed in 50.0f64..2_000.0,
+        cores in 1u32..6,
+    ) {
+        let mut fast = PsIntegrator::with_lanes(speed, cores, 4);
+        let mut slow = RefPs::new(speed, cores);
+        let mut now = SimTime::ZERO;
+        let mut next_id = 0u64;
+        let mut live: Vec<JobId> = Vec::new();
+        let mut frozen = false;
+        for &(kind, raw) in &ops {
+            now += SimDuration::from_micros(raw % 2_500);
+            match kind {
+                // Arrivals are the most common op (three op codes).
+                0..=2 => {
+                    let job = JobId(next_id);
+                    next_id += 1;
+                    let demand = ps_demand(raw);
+                    fast.insert_lane(now, job, demand, (raw % 4) as usize);
+                    slow.insert(now, job, demand);
+                    live.push(job);
+                }
+                3 => {
+                    if !live.is_empty() {
+                        let job = live.swap_remove(raw as usize % live.len());
+                        let ra = fast.remove(now, job);
+                        let rb = slow.remove(now, job);
+                        // Identical float op sequences -> identical bits.
+                        prop_assert_eq!(ra.map(f64::to_bits), rb.map(f64::to_bits));
+                    }
+                }
+                4 => {
+                    // Hits the empty integrator whenever the schedule says
+                    // so — a speed change with no jobs must be inert on
+                    // both sides.
+                    let s = 10.0 + (raw % 5_000) as f64;
+                    fast.set_speed(now, s);
+                    slow.set_speed(now, s);
+                }
+                5 => {
+                    // Toggle; spans routinely cover armed completions
+                    // because drains (ops 6-7) interleave freely.
+                    frozen = !frozen;
+                    fast.set_frozen(now, frozen);
+                    slow.set_frozen(now, frozen);
+                }
+                _ => {
+                    ps_drain_step(&mut fast, &mut slow, &mut now, &mut live)?;
+                }
+            }
+            prop_assert_eq!(fast.len(), slow.len());
+        }
+        if frozen {
+            fast.set_frozen(now, false);
+            slow.set_frozen(now, false);
+        }
+        while ps_drain_step(&mut fast, &mut slow, &mut now, &mut live)? {}
+        prop_assert!(fast.is_empty() && slow.is_empty());
+        prop_assert!(live.is_empty());
+        prop_assert_eq!(
+            fast.busy_core_seconds(now).to_bits(),
+            slow.busy_core_seconds(now).to_bits()
+        );
+    }
+}
+
+/// One entry in the randomized DVFS/GC timeline the oracle test replays.
+#[derive(Clone, Copy, Debug)]
+enum PsEvent {
+    Arrive(JobId, f64),
+    Speed(f64),
+    Freeze(bool),
+}
+
+/// Replays `timeline` against the exact integrator with an event-loop
+/// drain, returning each job's completion time in microseconds.
+fn ps_exact_run(timeline: &[(u64, PsEvent)], cores: u32) -> Vec<(JobId, u64)> {
+    let mut ps = PsIntegrator::with_lanes(200.0, cores, 2);
+    let mut now = SimTime::ZERO;
+    let mut done = Vec::new();
+    for &(t_us, ev) in timeline {
+        let t = SimTime::from_micros(t_us);
+        while let Some(due) = ps.next_completion(now) {
+            if due > t {
+                break;
+            }
+            now = due;
+            for j in ps.pop_due(now) {
+                done.push((j, now.as_micros()));
+            }
+        }
+        now = t;
+        match ev {
+            PsEvent::Arrive(job, demand) => ps.insert(now, job, demand),
+            PsEvent::Speed(s) => ps.set_speed(now, s),
+            PsEvent::Freeze(f) => ps.set_frozen(now, f),
+        }
+    }
+    while let Some(due) = ps.next_completion(now) {
+        now = due;
+        for j in ps.pop_due(now) {
+            done.push((j, now.as_micros()));
+        }
+    }
+    done
+}
+
+/// Replays `timeline` against a brute-force time-sliced PS simulation:
+/// every `dt_us` the egalitarian per-job rate is recomputed and each live
+/// job's remaining demand decremented. Deliberately naive — this is the
+/// slow executable definition of processor sharing, discretization error
+/// and all.
+fn ps_sliced_run(timeline: &[(u64, PsEvent)], cores: u32, dt_us: u64) -> Vec<(JobId, u64)> {
+    let mut speed = 200.0;
+    let mut frozen = false;
+    let mut jobs: Vec<(JobId, f64)> = Vec::new();
+    let mut done = Vec::new();
+    let mut idx = 0;
+    let mut t_us = 0u64;
+    while idx < timeline.len() || !jobs.is_empty() {
+        while idx < timeline.len() && timeline[idx].0 <= t_us {
+            match timeline[idx].1 {
+                PsEvent::Arrive(job, demand) => jobs.push((job, demand)),
+                PsEvent::Speed(s) => speed = s,
+                PsEvent::Freeze(f) => frozen = f,
+            }
+            idx += 1;
+        }
+        if !frozen && !jobs.is_empty() {
+            let n = jobs.len() as f64;
+            let step = speed * (f64::from(cores) / n).min(1.0) * dt_us as f64 * 1e-6;
+            for j in &mut jobs {
+                j.1 -= step;
+            }
+            jobs.retain(|&(id, rem)| {
+                if rem <= 1e-12 {
+                    done.push((id, t_us + dt_us));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        t_us += dt_us;
+        assert!(t_us < 60_000_000, "sliced oracle ran away");
+    }
+    done
+}
+
+proptest! {
+    // The sliced oracle walks tens of thousands of slices per case; keep
+    // the case count modest so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exact integrator agrees with the slow time-slicing definition of
+    /// egalitarian PS — per-job completion times within the oracle's
+    /// discretization tolerance — across randomized arrival schedules
+    /// overlaid with DVFS speed changes and GC freeze spans. The exact
+    /// integrator exists precisely to avoid this oracle's slicing error, so
+    /// the tolerance scales with slice width and event count, nothing else.
+    #[test]
+    fn ps_matches_slow_time_slicing_oracle(
+        arrivals in prop::collection::vec((0u64..40_000, 1u64..100), 1..9),
+        speeds in prop::collection::vec((0u64..60_000, 100u64..400), 0..4),
+        freezes in prop::collection::vec((0u64..60_000, 200u64..15_000), 0..3),
+        cores in 1u32..4,
+    ) {
+        let mut timeline: Vec<(u64, PsEvent)> = Vec::new();
+        for (i, &(t, d)) in arrivals.iter().enumerate() {
+            // 0.05 .. 5 work-units at >= 100 u/s: everything completes in
+            // well under a simulated second.
+            timeline.push((t, PsEvent::Arrive(JobId(i as u64), d as f64 * 0.05)));
+        }
+        for &(t, s) in &speeds {
+            timeline.push((t, PsEvent::Speed(s as f64)));
+        }
+        for &(t, dur) in &freezes {
+            timeline.push((t, PsEvent::Freeze(true)));
+            timeline.push((t + dur, PsEvent::Freeze(false)));
+        }
+        timeline.sort_by_key(|&(t, _)| t);
+        // Both replays must end unfrozen or neither drains; the sort keeps
+        // freeze/unfreeze pairs ordered, so ending frozen means a span ran
+        // past every later unfreeze — append a final thaw.
+        let frozen_at_end = timeline
+            .iter()
+            .fold(false, |f, &(_, ev)| match ev {
+                PsEvent::Freeze(x) => x,
+                _ => f,
+            });
+        if frozen_at_end {
+            let last = timeline.last().map_or(0, |&(t, _)| t);
+            timeline.push((last + 1, PsEvent::Freeze(false)));
+        }
+
+        const DT_US: u64 = 20;
+        let exact = ps_exact_run(&timeline, cores);
+        let sliced = ps_sliced_run(&timeline, cores, DT_US);
+        prop_assert_eq!(exact.len(), sliced.len());
+        // Each timeline event (and each completion, which changes the
+        // sharing factor mid-slice) contributes up to one slice of error.
+        let tol = DT_US * (2 * timeline.len() as u64 + 8);
+        for &(job, t_exact) in &exact {
+            let found = sliced.iter().find(|&&(j, _)| j == job).map(|&(_, t)| t);
+            prop_assert!(found.is_some(), "{:?} missing from oracle", job);
+            let t_sliced = found.unwrap();
+            prop_assert!(
+                t_exact.abs_diff(t_sliced) <= tol,
+                "{:?}: exact {} us vs sliced {} us (tol {} us)",
+                job, t_exact, t_sliced, tol
+            );
+        }
+    }
+}
+
+/// A DVFS transition on an *empty* integrator must be inert: no progress,
+/// no phantom busy time, and a later job completes exactly as if the
+/// integrator were freshly built at the new speed — on both
+/// implementations.
+#[test]
+fn ps_speed_change_with_empty_heap_is_inert() {
+    let mut fast = PsIntegrator::new(100.0, 2);
+    let mut slow = RefPs::new(100.0, 2);
+    for ps_set in [50.0, 400.0] {
+        fast.set_speed(SimTime::from_millis(10), ps_set);
+        slow.set_speed(SimTime::from_millis(10), ps_set);
+    }
+    let t1 = SimTime::from_millis(20);
+    fast.insert(t1, JobId(1), 40.0);
+    slow.insert(t1, JobId(1), 40.0);
+    // 40 units at 400 u/s -> 100 ms.
+    let due = SimTime::from_millis(120);
+    assert_eq!(fast.next_completion(t1), Some(due));
+    assert_eq!(slow.next_completion(t1), Some(due));
+    assert_eq!(fast.pop_due(due), vec![JobId(1)]);
+    assert_eq!(slow.pop_due(due), vec![JobId(1)]);
+    // No job ran before t1: the busy integral starts at the insert.
+    assert_eq!(
+        fast.busy_core_seconds(due).to_bits(),
+        slow.busy_core_seconds(due).to_bits()
+    );
+    assert!((fast.busy_core_seconds(due) - 0.1).abs() < 1e-9);
+}
+
+/// A GC freeze that spans an armed completion pushes it out by exactly the
+/// frozen interval, identically on both implementations.
+#[test]
+fn ps_freeze_spanning_completion_defers_it_by_the_frozen_interval() {
+    let mut fast = PsIntegrator::new(100.0, 1);
+    let mut slow = RefPs::new(100.0, 1);
+    fast.insert(SimTime::ZERO, JobId(7), 50.0);
+    slow.insert(SimTime::ZERO, JobId(7), 50.0);
+    // Armed for t=500 ms; freeze 300..900 ms swallows it.
+    assert_eq!(
+        fast.next_completion(SimTime::ZERO),
+        Some(SimTime::from_millis(500))
+    );
+    fast.set_frozen(SimTime::from_millis(300), true);
+    slow.set_frozen(SimTime::from_millis(300), true);
+    assert_eq!(fast.next_completion(SimTime::from_millis(500)), None);
+    assert_eq!(slow.next_completion(SimTime::from_millis(500)), None);
+    fast.set_frozen(SimTime::from_millis(900), false);
+    slow.set_frozen(SimTime::from_millis(900), false);
+    // 30 units attained before the freeze; 20 to go -> 1100 ms.
+    let due = SimTime::from_millis(1100);
+    assert_eq!(fast.next_completion(SimTime::from_millis(900)), Some(due));
+    assert_eq!(slow.next_completion(SimTime::from_millis(900)), Some(due));
+    assert_eq!(fast.pop_due(due), vec![JobId(7)]);
+    assert_eq!(slow.pop_due(due), vec![JobId(7)]);
+}
+
+/// Zero demand is rejected by contract (see the `should_panic` tests in
+/// `ps.rs`); the nearest legal thing is a demand so small its completion
+/// interval rounds up to the 1 us event grid. Both implementations must
+/// agree on that floor and complete the job on the very next probe.
+#[test]
+fn ps_near_zero_demand_completes_on_the_next_microsecond_tick() {
+    let mut fast = PsIntegrator::new(100.0, 1);
+    let mut slow = RefPs::new(100.0, 1);
+    let t0 = SimTime::from_millis(5);
+    fast.insert(t0, JobId(1), 1e-9);
+    slow.insert(t0, JobId(1), 1e-9);
+    let due = t0 + SimDuration::from_micros(1);
+    assert_eq!(fast.next_completion(t0), Some(due));
+    assert_eq!(slow.next_completion(t0), Some(due));
+    assert_eq!(fast.pop_due(due), vec![JobId(1)]);
+    assert_eq!(slow.pop_due(due), vec![JobId(1)]);
+    assert!(fast.is_empty() && slow.is_empty());
 }

@@ -40,6 +40,7 @@
 //! assert!(!result.log.records.is_empty());
 //! ```
 
+pub mod arena;
 pub mod class;
 pub mod config;
 pub mod dvfs;

@@ -20,12 +20,12 @@
 
 use std::collections::VecDeque;
 
-use fgbd_des::hash::FxHashMap;
 use fgbd_des::{Actor, Dice, JobId, PsIntegrator, Scheduler, SimDuration, SimTime, Simulation};
 use fgbd_trace::{
     ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, StreamSink, TraceLog, TxnId,
 };
 
+use crate::arena::Slab;
 use crate::class::RequestClass;
 use crate::config::SystemConfig;
 use crate::dvfs::{DvfsState, PStateSample};
@@ -78,18 +78,33 @@ const SEGS_INLINE: usize = 24;
 /// struct up to [`SEGS_INLINE`] entries and only spill to the heap for
 /// pathological configurations, so building a plan per request allocates
 /// nothing at steady state.
+///
+/// Storage is packed rather than `[Segment; SEGS_INLINE]`: a segment's
+/// payload is one `u64` word (`f64` megacycle bits for CPU, microseconds
+/// for waits) plus a 2-bit kind code, so the inline plan is 200 bytes
+/// instead of 384. `Visit` values move by value through the slab on every
+/// arrival and completion, which makes plan size directly proportional to
+/// hot-loop memory traffic. The packing is exact — `f64::to_bits` /
+/// `from_bits` round-trips — so demands are bit-identical to the unpacked
+/// representation.
 #[derive(Debug)]
 struct SegVec {
     len: u32,
-    inline: [Segment; SEGS_INLINE],
+    /// 2-bit kind code per inline segment (0 = Call, 1 = Cpu, 2 = Wait).
+    kinds: u64,
+    /// Payload word per inline segment; meaning depends on the kind code.
+    vals: [u64; SEGS_INLINE],
     spill: Vec<Segment>,
 }
+
+const _: () = assert!(2 * SEGS_INLINE <= 64, "kind codes must fit one word");
 
 impl SegVec {
     fn new() -> SegVec {
         SegVec {
             len: 0,
-            inline: [Segment::Call; SEGS_INLINE],
+            kinds: 0,
+            vals: [0; SEGS_INLINE],
             spill: Vec::new(),
         }
     }
@@ -97,7 +112,13 @@ impl SegVec {
     fn push(&mut self, seg: Segment) {
         let i = self.len as usize;
         if i < SEGS_INLINE {
-            self.inline[i] = seg;
+            let (code, val) = match seg {
+                Segment::Call => (0u64, 0),
+                Segment::Cpu(mc) => (1, mc.to_bits()),
+                Segment::Wait(d) => (2, d.as_micros()),
+            };
+            self.kinds |= code << (2 * i);
+            self.vals[i] = val;
         } else {
             self.spill.push(seg);
         }
@@ -111,7 +132,12 @@ impl SegVec {
     fn get(&self, i: usize) -> Segment {
         assert!(i < self.len(), "segment index {i} out of bounds");
         if i < SEGS_INLINE {
-            self.inline[i]
+            match (self.kinds >> (2 * i)) & 0b11 {
+                0 => Segment::Call,
+                1 => Segment::Cpu(f64::from_bits(self.vals[i])),
+                2 => Segment::Wait(SimDuration::from_micros(self.vals[i])),
+                code => unreachable!("unknown segment code {code}"),
+            }
         } else {
             self.spill[i - SEGS_INLINE]
         }
@@ -188,8 +214,24 @@ struct Server {
     ps: PsIntegrator,
     threads_busy: usize,
     pending: VecDeque<u64>,
-    visits: FxHashMap<u64, Visit>,
+    visits: Slab<Visit>,
     cpu_gen: u64,
+    /// Absolute due time of the armed `CpuDone` event, if one is live.
+    cpu_evt: SimTime,
+    /// FIFO ticket of the armed `CpuDone` event, re-stamped on every reuse
+    /// so same-microsecond ordering matches an always-reschedule run.
+    cpu_seq: u64,
+    /// `true` while a `CpuDone` carrying the current `cpu_gen` sits in the
+    /// event queue — the completion token that lets `reschedule_cpu` skip
+    /// the bump-and-reschedule when the predicted time is unchanged.
+    cpu_sched_live: bool,
+    /// `CpuDone` events that still went stale (the predicted completion
+    /// time moved, invalidating the armed event). Flushed to
+    /// `des.cpu_done_stale`.
+    cpu_stale: u64,
+    /// Reschedules avoided because the armed `CpuDone` was already due at
+    /// the recomputed time. Flushed to `des.cpu_done_reuse`.
+    cpu_reuse: u64,
     gc: Option<GcState>,
     gc_stw_end: SimTime,
     /// Completed GC CPU burn, core-seconds.
@@ -291,13 +333,14 @@ pub struct NTierSystem {
     cfg: SystemConfig,
     servers: Vec<Server>,
     tiers: Vec<Vec<usize>>,
-    node_to_server: FxHashMap<NodeId, usize>,
     users: UserTable,
     conn_pools: Vec<ConnPool>,
-    link_index: FxHashMap<(usize, usize), usize>,
+    /// Dense `src * n_servers + dst → conn-pool index` lookup (`LINK_NONE`
+    /// for non-adjacent pairs). Server counts are single digits, so the
+    /// flat table is tiny and the hot-path lookup is one multiply-add.
+    links: Vec<u32>,
     burst_factor: f64,
     next_txn: u64,
-    next_visit: u64,
     log: TraceLog,
     /// When set, capture records stream through this sink instead of
     /// accumulating in `log` (see [`NTierSystem::run_with_tap`]); the
@@ -322,6 +365,8 @@ pub struct NTierSystem {
 
 const CLIENT_NODE: NodeId = NodeId(0);
 const POOL_CONN_BASE: u32 = 1 << 20;
+/// `links` entry for a (src, dst) pair with no connection pool.
+const LINK_NONE: u32 = u32::MAX;
 
 /// The node table a run with this configuration will record: the client
 /// farm at node 0 followed by every server in topology order. Exposed so
@@ -353,17 +398,16 @@ impl NTierSystem {
         let workload_dice = root.fork(1);
         let burst_dice = root.fork(2);
 
+        let n_classes = cfg.mix.classes().len();
         let mut servers = Vec::new();
         let mut tiers = Vec::new();
         let nodes = node_metas(&cfg);
-        let mut node_to_server = FxHashMap::default();
         for tier_specs in &cfg.topology {
             let mut tier_idx = Vec::new();
             for spec in tier_specs {
                 let idx = servers.len();
                 let node = NodeId((idx + 1) as u16);
                 debug_assert_eq!(nodes[idx + 1].id, node);
-                node_to_server.insert(node, idx);
                 servers.push(Server {
                     name: spec.name.clone(),
                     tier: spec.tier,
@@ -373,16 +417,28 @@ impl NTierSystem {
                     monitor_overhead: spec.monitor_overhead,
                     max_threads: spec.max_threads,
                     backlog: spec.backlog,
-                    ps: PsIntegrator::new(
+                    // One PS lane per request class: same-class demands are
+                    // near-deterministic, so class lanes maximize the
+                    // monotone-append hit rate (see `fgbd_des::ps`).
+                    ps: PsIntegrator::with_lanes(
                         spec.dvfs.map_or(spec.base_mhz, |d| {
                             crate::dvfs::XEON_PSTATES[d.start_index].mhz
                         }) * (1.0 - spec.monitor_overhead / f64::from(spec.cores)),
                         spec.cores,
+                        n_classes,
                     ),
                     threads_busy: 0,
-                    pending: VecDeque::new(),
-                    visits: FxHashMap::default(),
+                    pending: VecDeque::with_capacity(spec.backlog + 1),
+                    // Live visits are bounded by in-service threads plus the
+                    // accept queue; pre-sizing to that bound means the slab
+                    // never grows mid-run.
+                    visits: Slab::with_capacity(spec.max_threads + spec.backlog + 1),
                     cpu_gen: 0,
+                    cpu_evt: SimTime::ZERO,
+                    cpu_seq: 0,
+                    cpu_sched_live: false,
+                    cpu_stale: 0,
+                    cpu_reuse: 0,
                     gc: spec.gc.map(GcState::new),
                     gc_stw_end: SimTime::ZERO,
                     gc_busy_full: 0.0,
@@ -402,15 +458,15 @@ impl NTierSystem {
         // Connection pools for every directed (server, next-tier server)
         // pair.
         let mut conn_pools = Vec::new();
-        let mut link_index = FxHashMap::default();
+        let mut links = vec![LINK_NONE; servers.len() * servers.len()];
         for t in 0..tiers.len().saturating_sub(1) {
             for &s in &tiers[t] {
                 for &d in &tiers[t + 1] {
                     let li = conn_pools.len();
-                    link_index.insert((s, d), li);
+                    links[s * servers.len() + d] = li as u32;
                     conn_pools.push(ConnPool {
                         base: POOL_CONN_BASE * (li as u32 + 1),
-                        free: Vec::new(),
+                        free: Vec::with_capacity(16),
                         next: 0,
                     });
                 }
@@ -422,13 +478,11 @@ impl NTierSystem {
         NTierSystem {
             servers,
             tiers,
-            node_to_server,
             users: UserTable::new(cfg.users as usize),
             conn_pools,
-            link_index,
+            links,
             burst_factor: 1.0,
             next_txn: 0,
-            next_visit: 0,
             log: TraceLog::new(nodes),
             tap: None,
             record_tap: None,
@@ -495,6 +549,17 @@ impl NTierSystem {
         // partial chunk and closes the channel.
         self.tap = None;
         self.record_tap = None;
+        // Completion-token accounting, accumulated in plain per-server
+        // fields (the event loop is too hot for per-op atomics) and flushed
+        // here. Retained: zero avoided churn would itself be a finding.
+        // Guarded like every retained flush — with the kill switch off even
+        // registration must not leave a trace in snapshot deltas.
+        if fgbd_obsv::enabled() {
+            let stale: u64 = self.servers.iter().map(|s| s.cpu_stale).sum();
+            let reuse: u64 = self.servers.iter().map(|s| s.cpu_reuse).sum();
+            fgbd_obsv::metrics::counter_retained("des.cpu_done_stale").add(stale);
+            fgbd_obsv::metrics::counter_retained("des.cpu_done_reuse").add(reuse);
+        }
         RunResult {
             servers: self
                 .servers
@@ -653,10 +718,12 @@ impl NTierSystem {
         bytes: u32,
         txn: u64,
     ) {
-        if let Some(&s) = self.node_to_server.get(&src) {
+        // Server nodes are numbered 1..=n in server-index order (see
+        // `node_metas`), so node→server is arithmetic, not a map lookup.
+        if let Some(s) = self.server_of(src) {
             self.servers[s].tx_bytes += u64::from(bytes);
         }
-        if let Some(&d) = self.node_to_server.get(&dst) {
+        if let Some(d) = self.server_of(dst) {
             self.servers[d].rx_bytes += u64::from(bytes);
         }
         if self.cfg.capture {
@@ -678,17 +745,81 @@ impl NTierSystem {
         }
     }
 
+    /// The server index behind a node id, if any. Server nodes are
+    /// `1..=n` in index order; node 0 is the client farm.
+    #[inline]
+    fn server_of(&self, node: NodeId) -> Option<usize> {
+        let i = usize::from(node.0);
+        (1..=self.servers.len()).contains(&i).then(|| i - 1)
+    }
+
+    /// Connection-pool index of the `src → dst` link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the servers are not in adjacent tiers.
+    #[inline]
+    fn link(&self, src: usize, dst: usize) -> usize {
+        let li = self.links[src * self.servers.len() + dst];
+        assert_ne!(li, LINK_NONE, "no link {src} -> {dst}");
+        li as usize
+    }
+
+    /// (Re)schedules the server's next CPU-completion event.
+    ///
+    /// Called after every PS mutation. The naive version bumps `cpu_gen`
+    /// and schedules a fresh `CpuDone` each time, orphaning the previous
+    /// one as a timing-wheel tombstone — and most mutations (a visit
+    /// arriving behind the current leader, a response passing through)
+    /// don't change *when* the next completion happens, only who's behind
+    /// it. The completion token (`cpu_evt`/`cpu_sched_live`) remembers the
+    /// armed event's due time; if the freshly predicted time matches, the
+    /// armed event is still right — no new entry, no tombstone.
+    ///
+    /// Reuse is not allowed to perturb ordering: the naive reschedule gives
+    /// the replacement event a *fresh* FIFO ticket, so against other events
+    /// at the same microsecond it sorts by its latest reschedule, not its
+    /// first. Keeping the armed event's original ticket would flip those
+    /// ties (observed as byte divergence at WL 8,000, where same-µs
+    /// collisions are routine). So reuse re-stamps the armed event with the
+    /// ticket a cancel-and-reschedule would have drawn — bit-identical
+    /// delivery order, still no wheel churn.
     fn reschedule_cpu(&mut self, now: SimTime, server: usize, sched: &mut Scheduler<Ev>) {
         let s = &mut self.servers[server];
-        s.cpu_gen += 1;
-        if let Some(t) = s.ps.next_completion(now) {
-            sched.at(
-                t,
-                Ev::CpuDone {
-                    server,
-                    gen: s.cpu_gen,
-                },
-            );
+        match s.ps.next_completion(now) {
+            Some(t) => {
+                if s.cpu_sched_live && s.cpu_evt == t {
+                    if let Some(fresh) = sched.restamp(t, s.cpu_seq) {
+                        s.cpu_seq = fresh;
+                        s.cpu_reuse += 1;
+                        return;
+                    }
+                    // Not in the wheel (overflow-range due time): fall
+                    // through to a real reschedule.
+                }
+                if s.cpu_sched_live {
+                    s.cpu_stale += 1;
+                }
+                s.cpu_gen += 1;
+                s.cpu_evt = t;
+                s.cpu_sched_live = true;
+                s.cpu_seq = sched.at(
+                    t,
+                    Ev::CpuDone {
+                        server,
+                        gen: s.cpu_gen,
+                    },
+                );
+            }
+            None => {
+                // Nothing to complete (empty or frozen): invalidate any
+                // pending event so it pops dead.
+                if s.cpu_sched_live {
+                    s.cpu_stale += 1;
+                    s.cpu_gen += 1;
+                    s.cpu_sched_live = false;
+                }
+            }
         }
     }
 
@@ -702,12 +833,17 @@ impl NTierSystem {
         sched: &mut Scheduler<Ev>,
     ) {
         let (seg, txn, class) = {
-            let v = &self.servers[server].visits[&visit];
+            let v = self.servers[server]
+                .visits
+                .get(visit)
+                .expect("enter on unknown visit");
             (v.segs.get(v.seg), v.txn, v.class)
         };
         match seg {
             Segment::Cpu(mc) => {
-                self.servers[server].ps.insert(now, JobId(visit), mc);
+                self.servers[server]
+                    .ps
+                    .insert_lane(now, JobId(visit), mc, usize::from(class));
             }
             Segment::Wait(d) => {
                 sched.after(d, Ev::WaitDone { server, visit });
@@ -717,7 +853,7 @@ impl NTierSystem {
                 let next_tier = &self.tiers[tier + 1];
                 let target = next_tier[self.servers[server].rr % next_tier.len()];
                 self.servers[server].rr += 1;
-                let li = self.link_index[&(server, target)];
+                let li = self.link(server, target);
                 let conn = self.conn_pools[li].alloc();
                 let req = NewRequest {
                     txn,
@@ -747,7 +883,7 @@ impl NTierSystem {
         let more = {
             let v = self.servers[server]
                 .visits
-                .get_mut(&visit)
+                .get_mut(visit)
                 .expect("advance on unknown visit");
             v.seg += 1;
             v.seg < v.segs.len()
@@ -768,7 +904,7 @@ impl NTierSystem {
     ) {
         let v = self.servers[server]
             .visits
-            .remove(&visit)
+            .remove(visit)
             .expect("complete on unknown visit");
         self.servers[server].threads_busy -= 1;
         self.servers[server].completed += 1;
@@ -793,7 +929,7 @@ impl NTierSystem {
                 server: ps,
                 visit: pv,
             } => {
-                let li = self.link_index[&(ps, server)];
+                let li = self.link(ps, server);
                 sched.after(
                     self.cfg.net_latency,
                     Ev::RespArrive {
@@ -847,20 +983,15 @@ impl NTierSystem {
             req.txn,
         );
 
-        let visit = self.next_visit;
-        self.next_visit += 1;
         let segs = self.sample_segments(now, server, req.class);
-        self.servers[server].visits.insert(
-            visit,
-            Visit {
-                txn: req.txn,
-                class: req.class,
-                parent: req.parent,
-                conn: req.conn,
-                segs,
-                seg: 0,
-            },
-        );
+        let visit = self.servers[server].visits.insert(Visit {
+            txn: req.txn,
+            class: req.class,
+            parent: req.parent,
+            conn: req.conn,
+            segs,
+            seg: 0,
+        });
 
         // JVM allocation; may trigger a collection.
         let triggered = self.servers[server]
@@ -968,10 +1099,11 @@ impl Actor for NTierSystem {
                 conn,
             } => {
                 debug_assert!(matches!(
-                    self.servers[server].visits[&visit]
-                        .segs
-                        .get(self.servers[server].visits[&visit].seg),
-                    Segment::Call
+                    self.servers[server]
+                        .visits
+                        .get(visit)
+                        .map(|v| v.segs.get(v.seg)),
+                    Some(Segment::Call)
                 ));
                 self.conn_pools[link as usize].release(conn);
                 self.advance_visit(now, server, visit, sched);
@@ -992,6 +1124,8 @@ impl Actor for NTierSystem {
                 if gen != self.servers[server].cpu_gen {
                     return;
                 }
+                // This event was the pending completion token; it has fired.
+                self.servers[server].cpu_sched_live = false;
                 // Drain into the reusable batch buffer (taken out of `self`
                 // so `advance_visit` can borrow the system mutably).
                 let mut done = std::mem::take(&mut self.cpu_done);

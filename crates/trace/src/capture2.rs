@@ -857,10 +857,29 @@ fn decode_indexed_chunk(
     decode_chunk_payload(payload, index, record_count, min_at, max_at, out)
 }
 
+/// Effective decode parallelism on a host with `host_cores` usable cores.
+///
+/// Below two cores the workers cannot overlap: the parallel path's thread
+/// spawns and per-chunk reassembly copies are pure overhead on top of a
+/// serialized decode, which showed up as `chunked_read_*_t4` benching
+/// *slower* than `_t1` on a single-core box. Fall back to the in-place
+/// sequential decode there (the same reasoning as the streaming tap's zero
+/// spin budget on single-core hosts); the decoded bytes are identical
+/// either way.
+fn effective_decode_threads(requested: usize, host_cores: usize) -> usize {
+    if host_cores < 2 {
+        1
+    } else {
+        requested
+    }
+}
+
 /// Fans chunk decoding out over the selected chunks and appends the results
 /// to `out` in chunk order — deterministic at any thread count. The
 /// single-thread path decodes straight into `out` (no per-chunk buffers or
 /// stitch copies); the parallel path pays one copy per chunk to reassemble.
+/// Hosts with fewer than two cores always take the sequential path (see
+/// [`effective_decode_threads`]).
 fn decode_chunks_parallel(
     bytes: &[u8],
     selected: &[(u32, ChunkInfo)],
@@ -868,7 +887,10 @@ fn decode_chunks_parallel(
     out: &mut Vec<MsgRecord>,
 ) -> Result<(), CaptureError> {
     out.reserve(selected.iter().map(|(_, c)| c.record_count as usize).sum());
-    let threads = threads.clamp(1, selected.len().max(1));
+    let host = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let threads = effective_decode_threads(threads, host).clamp(1, selected.len().max(1));
     if threads <= 1 || selected.len() <= 1 {
         for &(i, info) in selected {
             decode_indexed_chunk(bytes, i, info, out)?;
@@ -1160,6 +1182,19 @@ mod tests {
             assert_eq!(par.nodes, log.nodes);
             assert_eq!(par.records, log.records);
         }
+    }
+
+    #[test]
+    fn low_core_hosts_fall_back_to_sequential_decode() {
+        // Below two cores the parallel path is pure overhead: any request
+        // collapses to the sequential decode.
+        assert_eq!(effective_decode_threads(1, 1), 1);
+        assert_eq!(effective_decode_threads(4, 1), 1);
+        assert_eq!(effective_decode_threads(7, 0), 1);
+        // At two or more cores the caller's request stands.
+        assert_eq!(effective_decode_threads(4, 2), 4);
+        assert_eq!(effective_decode_threads(7, 8), 7);
+        assert_eq!(effective_decode_threads(1, 8), 1);
     }
 
     #[test]

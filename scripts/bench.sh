@@ -11,7 +11,11 @@
 # (FGBDCAP2 columnar write + 1/4-thread parallel read vs the flat FGBDCAP1
 # baseline on the 200k-record fixture), and the `online_detect` bench
 # (streaming per-record push at several live-window widths vs the batch
-# detector over the same materialized capture).
+# detector over the same materialized capture), the `ps_integrator` bench
+# (lane/cached-tournament PS hold + probe vs the heap reference, with a
+# freeze-churn spill variant), and the `simulate_hot_loop` bench
+# (events/s of the end-to-end single-core simulate stage across baseline,
+# DVFS, and serial-GC schedules).
 #
 # If any run manifests exist under out/manifests/ (written by the
 # fgbd-repro binaries, see crates/obsv), the newest one's per-stage wall
@@ -29,6 +33,8 @@ if [ "$1" != "--no-run" ]; then
     cargo bench -p fgbd-bench --bench streaming
     cargo bench -p fgbd-bench --bench parallel_sim
     cargo bench -p fgbd-bench --bench online_detect
+    cargo bench -p fgbd-bench --bench ps_integrator
+    cargo bench -p fgbd-bench --bench simulate_hot_loop
 fi
 
 python3 - <<'EOF'
