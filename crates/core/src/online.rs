@@ -201,6 +201,41 @@ pub struct OnlineReport {
     pub live_frozen: usize,
 }
 
+impl OnlineReport {
+    /// Number of congested intervals (including frozen ones) in the
+    /// batch-exact final states — the [`crate::detect::ServerReport`]
+    /// formula, so zero-copy consumers can render the batch table without
+    /// a `ServerReport`. Zero when `retain` was off (`states` is empty).
+    pub fn congested_intervals(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, IntervalState::Congested | IntervalState::Frozen))
+            .count()
+    }
+
+    /// Number of frozen (POI) intervals in the final states.
+    pub fn frozen_intervals(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, IntervalState::Frozen))
+            .count()
+    }
+
+    /// Fraction of non-idle intervals that are congested — identical to
+    /// `ServerReport::congestion_ratio` on the same states.
+    pub fn congestion_ratio(&self) -> f64 {
+        let active = self
+            .states
+            .iter()
+            .filter(|s| !matches!(s, IntervalState::Idle))
+            .count();
+        if active == 0 {
+            return 0.0;
+        }
+        self.congested_intervals() as f64 / active as f64
+    }
+}
+
 /// Everything [`OnlineDetector::finish`] produces: the per-server reports
 /// plus any verdicts emitted while finalizing the tail of the grid (which
 /// would otherwise be lost — the detector is consumed).

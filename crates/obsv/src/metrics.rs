@@ -223,6 +223,18 @@ fn key_string((name, label): Key) -> String {
     }
 }
 
+/// Peak resident set size of this process in KiB, from the kernel's
+/// `VmHWM` accounting in `/proc/self/status`. `None` off Linux or when
+/// `/proc` is unavailable. This is the memory evidence every run manifest
+/// records (see the repro harness), so flat-memory claims — streaming
+/// capture writers, the zero-copy analysis path — are tracked per run
+/// just like stage wall times.
+pub fn vm_hwm_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Snapshots every registered instrument.
 pub fn snapshot() -> MetricsSnapshot {
     let counters = lock(counters())

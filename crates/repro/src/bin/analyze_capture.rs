@@ -8,15 +8,30 @@
 //!     capture.fgbdcap [interval_ms] [--follow] [--verdicts out.jsonl] [--quiet]
 //! ```
 //!
+//! Two engines produce the (byte-identical) report:
+//!
+//! * **batch** (default): the capture is materialized as a `TraceLog`,
+//!   spans are extracted, and each server runs the batch detector;
+//! * **zero-copy** (`FGBD_CAPTURE_MMAP=1`, `FGBDCAP2` captures): the file
+//!   is memory-mapped and a lazy chunk cursor streams projected columns
+//!   straight into the online detector — peak memory stays flat no matter
+//!   how large the capture is (see [`fgbd_repro::zerocopy`]).
+//!
+//! Both engines calibrate service times over the same bounded record
+//! prefix (`FGBD_CALIB_RECORDS`, default 1 Mi), so their verdicts agree
+//! byte for byte — CI diffs them.
+//!
 //! `--follow` tails a capture that is **still being written** (a growing
-//! file, or a FIFO fed by a live writer): records are decoded as their
-//! bytes land and pushed through the streaming monitor pipeline
+//! file, or a FIFO fed by a live writer): whole chunks are decoded as
+//! their bytes land and pushed through the streaming monitor pipeline
 //! ([`fgbd_repro::monitor`]), printing provisional onset/clear verdicts
 //! incrementally; once the writer's footer appears (or the
-//! `FGBD_FOLLOW_IDLE_MS` budget runs dry) the standard batch analysis runs
-//! over the complete capture. `--verdicts PATH` additionally writes the
-//! final congested-interval verdicts as JSON lines — byte-identical
-//! whether the capture was read batch or tailed, which CI exploits.
+//! `FGBD_FOLLOW_IDLE_MS` budget runs dry) the standard analysis runs over
+//! the complete capture — zero-copy over the now-sealed file when
+//! `FGBD_CAPTURE_MMAP=1`, batch otherwise. `--verdicts PATH` additionally
+//! writes the final congested-interval verdicts as JSON lines —
+//! byte-identical whether the capture was read batch, tailed, or
+//! memory-mapped, which CI exploits.
 //!
 //! A run manifest is written to `out/manifests/analyze_capture.*`.
 
@@ -25,18 +40,48 @@ use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
 
-use fgbd_core::detect::{analyze_server, rank_bottlenecks, DetectorConfig};
+use fgbd_core::detect::{analyze_server, DetectorConfig, IntervalState};
+use fgbd_core::nstar::NStar;
 use fgbd_core::series::Window;
 use fgbd_des::{SimDuration, SimTime};
 use fgbd_obsv::json::Json;
 use fgbd_obsv::jsonl::JsonlWriter;
+use fgbd_repro::harness::RunScope;
 use fgbd_repro::monitor::{verdict_lines, MonitorConfig, MonitorRuntime};
-use fgbd_repro::pipeline::{Calibration, WORK_UNIT_RESOLUTION};
+use fgbd_repro::pipeline::{calib_records_from_env, Calibration, WORK_UNIT_RESOLUTION};
+use fgbd_repro::zerocopy::{analyze_capture2_zero_copy, is_capture2};
+use fgbd_trace::capture2::threads_from_env;
+use fgbd_trace::mmapio::mmap_from_env;
 use fgbd_trace::servicetime::ServiceTimeTable;
 use fgbd_trace::{
-    read_capture_file, read_capture_tapped, wait_for_file, NodeKind, SpanSet, SpanStream,
-    StreamConfig, TailConfig, TailReader,
+    read_capture_file, read_capture_tapped, wait_for_file, CaptureChunks, NodeId, NodeKind,
+    SpanSet, SpanStream, StreamConfig, TailConfig, TailReader, TraceLog,
 };
+
+/// One rendered table row plus the series the verdict stream needs —
+/// built from a batch `ServerReport` or a zero-copy `OnlineReport`, so
+/// both engines share one renderer (and therefore one output format).
+struct ReportView {
+    name: String,
+    server: NodeId,
+    spans: usize,
+    congested: usize,
+    frozen: usize,
+    ratio: f64,
+    nstar: Option<NStar>,
+    loads: Vec<f64>,
+    rates: Vec<f64>,
+    states: Vec<IntervalState>,
+}
+
+/// What either engine hands the renderer: capture shape plus per-server
+/// views (node-table order, servers with spans only).
+struct AnalysisOutput {
+    nodes: usize,
+    records: u64,
+    bounds: Option<(SimTime, SimTime)>,
+    views: Vec<ReportView>,
+}
 
 fn main() {
     let mut args = fgbd_repro::harness::parse_std_flags();
@@ -65,6 +110,7 @@ fn main() {
         .get(1)
         .map_or(Ok(50), |s| s.parse())
         .expect("interval must be milliseconds");
+    let interval = SimDuration::from_millis(interval_ms.max(1));
 
     let mut scope = fgbd_repro::harness::begin("analyze_capture");
     scope.field("capture", Json::Str(path.clone()));
@@ -72,17 +118,23 @@ fn main() {
     scope.field("follow", Json::Bool(follow));
     let _root = fgbd_obsv::span::enter("analyze_capture");
 
-    // Streaming front-end: overlap file decode with online span
-    // extraction. The batch fallback (FGBD_STREAM=0) decodes first —
-    // fanning chunked captures across FGBD_CAPTURE_THREADS workers — and
-    // extracts afterwards. Bit-identical spans either way. `--follow`
-    // tails the growing file through the live monitor instead and batch
-    // extracts once the capture completes.
-    let (log, spans) = if follow {
-        let log = tail_capture(Path::new(path), interval_ms);
-        let spans = SpanSet::extract(&log);
-        (log, spans)
+    // Pick the engine. `--follow` tails first (live provisional verdicts),
+    // then analyzes the sealed file; a materialized log from the tail is
+    // reused by the batch engine, while under FGBD_CAPTURE_MMAP the tail
+    // skips materializing entirely and the zero-copy engine re-reads the
+    // (now complete) file through the chunk cursor.
+    let out = if follow {
+        match tail_capture(Path::new(path), interval_ms) {
+            Some(log) => analyze_batch(log, interval),
+            None => analyze_zero_copy(Path::new(path), interval),
+        }
+    } else if mmap_from_env() && is_capture2(Path::new(path)) {
+        analyze_zero_copy(Path::new(path), interval)
     } else {
+        // Streaming front-end: overlap file decode with online span
+        // extraction. The batch fallback (FGBD_STREAM=0) decodes first —
+        // fanning chunked captures across FGBD_CAPTURE_THREADS workers —
+        // and extracts afterwards. Bit-identical spans either way.
         match StreamConfig::from_env() {
             Some(stream_cfg) => {
                 let file = File::open(path).expect("open capture file");
@@ -94,61 +146,75 @@ fn main() {
                     fgbd_obsv::span!("stream_extract");
                     stream.finish()
                 };
-                (log, spans)
+                analyze_batch_with_spans(log, spans, interval)
             }
             None => {
                 let log = read_capture_file(Path::new(path)).expect("parse capture");
-                let spans = SpanSet::extract(&log);
-                (log, spans)
+                analyze_batch(log, interval)
             }
         }
     };
+
     fgbd_obsv::log!(
         "analyze_capture",
         "capture: {} nodes, {} messages",
-        log.nodes.len(),
-        log.records.len()
+        out.nodes,
+        out.records
     );
-    let Some(end) = log.records.last().map(|r| r.at) else {
+    let Some((start, end)) = out.bounds else {
         fgbd_obsv::log!("analyze_capture", "empty capture — nothing to analyze");
         drop(_root);
         scope.finish();
         return;
     };
+    let window = Window::new(start, end, interval);
+    render_report(
+        &out.views,
+        window,
+        interval_ms,
+        start,
+        end,
+        verdicts_path,
+        &mut scope,
+    );
+
+    scope.field("servers", Json::Num(out.views.len() as f64));
+    drop(_root);
+    scope.finish();
+}
+
+/// Batch engine: extract spans, then analyze.
+fn analyze_batch(log: TraceLog, interval: SimDuration) -> AnalysisOutput {
+    let spans = SpanSet::extract(&log);
+    analyze_batch_with_spans(log, spans, interval)
+}
+
+/// Batch engine body — service-time calibration over the bounded record
+/// prefix (the same prefix the zero-copy engine uses, so the two agree),
+/// then one batch detector per server, fanned across cores.
+fn analyze_batch_with_spans(
+    log: TraceLog,
+    spans: SpanSet,
+    interval: SimDuration,
+) -> AnalysisOutput {
+    let records = log.records.len() as u64;
+    let Some(end) = log.records.last().map(|r| r.at) else {
+        return AnalysisOutput {
+            nodes: log.nodes.len(),
+            records: 0,
+            bounds: None,
+            views: Vec::new(),
+        };
+    };
     let start = log.records.first().map(|r| r.at).expect("non-empty");
 
     // Service-time calibration from the capture itself: reconstruct and
     // approximate with a low quantile (the offline stand-in for a dedicated
-    // low-load calibration run). The log moves into the run view (no
-    // clone) and the already-extracted spans are reused.
-    let run_like = fgbd_ntier::result::RunResult {
-        servers: log
-            .nodes
-            .iter()
-            .filter(|n| n.kind == NodeKind::Server)
-            .map(|n| fgbd_ntier::result::ServerInfo {
-                name: n.name.clone(),
-                tier: usize::from(n.tier.unwrap_or(0)),
-                node: n.id,
-                cores: 1,
-                max_threads: 0,
-            })
-            .collect(),
-        log,
-        txns: Vec::new(),
-        gc_events: Vec::new(),
-        pstate_log: Vec::new(),
-        cpu_busy: Vec::new(),
-        net_bytes: Vec::new(),
-        completed_visits: Vec::new(),
-        retransmissions: 0,
-        warmup_end: start,
-        horizon: end,
-    };
-    let cal = Calibration::from_run_with_spans(&run_like, &spans);
-    let log = &run_like.log;
+    // low-load calibration run), over at most FGBD_CALIB_RECORDS records.
+    let prefix = log.records.len().min(calib_records_from_env());
+    let cal = Calibration::from_capture_prefix(&log.nodes, &log.records[..prefix]);
 
-    let window = Window::new(start, end, SimDuration::from_millis(interval_ms.max(1)));
+    let window = Window::new(start, end, interval);
     let cfg = DetectorConfig::default();
 
     // One worker per server: the per-server analyses are independent, so
@@ -159,7 +225,7 @@ fn main() {
         .iter()
         .filter(|n| n.kind == NodeKind::Server && !spans.server(n.id).is_empty())
         .collect();
-    let reports: Vec<(String, _)> = fgbd_repro::par::par_map(&metas, |meta| {
+    let views: Vec<ReportView> = fgbd_repro::par::par_map(&metas, |meta| {
         let report = analyze_server(
             spans.server(meta.id),
             meta.id,
@@ -171,8 +237,67 @@ fn main() {
                 .unwrap_or(WORK_UNIT_RESOLUTION),
             &cfg,
         );
-        (meta.name.clone(), report)
+        ReportView {
+            name: meta.name.clone(),
+            server: meta.id,
+            spans: spans.server(meta.id).len(),
+            congested: report.congested_intervals(),
+            frozen: report.frozen_intervals(),
+            ratio: report.congestion_ratio(),
+            nstar: report.nstar.clone(),
+            loads: report.load.values().to_vec(),
+            rates: report.tput.unit_rates(),
+            states: report.states,
+        }
     });
+    AnalysisOutput {
+        nodes: log.nodes.len(),
+        records,
+        bounds: Some((start, end)),
+        views,
+    }
+}
+
+/// Zero-copy engine: mmap + lazy projected chunk decode through the
+/// online detector (see [`fgbd_repro::zerocopy`]). The reports are
+/// bit-identical to the batch engine's.
+fn analyze_zero_copy(path: &Path, interval: SimDuration) -> AnalysisOutput {
+    let za = analyze_capture2_zero_copy(path, interval, threads_from_env()).expect("parse capture");
+    let views = za
+        .reports
+        .into_iter()
+        .map(|(name, rep)| ReportView {
+            name,
+            server: rep.server,
+            spans: rep.matched as usize,
+            congested: rep.congested_intervals(),
+            frozen: rep.frozen_intervals(),
+            ratio: rep.congestion_ratio(),
+            nstar: rep.nstar,
+            loads: rep.loads,
+            rates: rep.rates,
+            states: rep.states,
+        })
+        .collect();
+    AnalysisOutput {
+        nodes: za.nodes.len(),
+        records: za.records,
+        bounds: (za.records > 0).then_some((za.start, za.end)),
+        views,
+    }
+}
+
+/// The shared report renderer: table, ranking, verdict stream. One code
+/// path for both engines means the bytes cannot drift apart.
+fn render_report(
+    views: &[ReportView],
+    window: Window,
+    interval_ms: u64,
+    start: SimTime,
+    end: SimTime,
+    verdicts_path: Option<String>,
+    scope: &mut RunScope,
+) {
     fgbd_obsv::log!(
         "analyze_capture",
         "\n{:<12} {:>8} {:>10} {:>10} {:>8} {:>8}",
@@ -183,34 +308,37 @@ fn main() {
         "frozen",
         "ratio%"
     );
-    for (meta, (name, report)) in metas.iter().zip(&reports) {
+    for v in views {
         fgbd_obsv::log!(
             "analyze_capture",
             "{:<12} {:>8} {:>10} {:>10} {:>8} {:>8.1}",
-            name,
-            spans.server(meta.id).len(),
-            report
-                .nstar
+            v.name,
+            v.spans,
+            v.nstar
                 .as_ref()
                 .map_or("n/a".to_string(), |n| format!("{:.1}", n.nstar)),
-            report.congested_intervals(),
-            report.frozen_intervals(),
-            report.congestion_ratio() * 100.0
+            v.congested,
+            v.frozen,
+            v.ratio * 100.0
         );
     }
 
-    let ranked = rank_bottlenecks(&reports.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+    // `rank_bottlenecks` inlined over the views (it takes `ServerReport`s,
+    // which the zero-copy engine never builds): same stable descending
+    // sort on congestion ratio.
+    let mut ranked: Vec<(NodeId, f64)> = views.iter().map(|v| (v.server, v.ratio)).collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("ratio is finite"));
     if let Some((top, ratio)) = ranked.first() {
-        let name = reports
+        let name = views
             .iter()
-            .find(|(_, r)| r.server == *top)
-            .map_or("?", |(n, _)| n.as_str());
+            .find(|v| v.server == *top)
+            .map_or("?", |v| v.name.as_str());
         fgbd_obsv::log!(
             "analyze_capture",
             "\n=> most frequently congested server: {name} ({:.1}% of active {interval_ms} ms intervals)",
             ratio * 100.0
         );
-        let frozen: usize = reports.iter().map(|(_, r)| r.frozen_intervals()).sum();
+        let frozen: usize = views.iter().map(|v| v.frozen).sum();
         if frozen > 0 {
             fgbd_obsv::log!(
                 "analyze_capture",
@@ -227,17 +355,18 @@ fn main() {
     );
 
     // Final verdict stream through the shared renderer — the same bytes
-    // whether the capture was read batch or tailed with `--follow`.
+    // whether the capture was read batch, tailed with `--follow`, or
+    // memory-mapped.
     if let Some(vpath) = verdicts_path {
         let mut w = JsonlWriter::create(&vpath).expect("create verdicts file");
-        for (name, report) in &reports {
+        for v in views {
             for line in verdict_lines(
-                name,
+                &v.name,
                 window,
-                report.load.values(),
-                &report.tput.unit_rates(),
-                &report.states,
-                report.nstar.as_ref(),
+                &v.loads,
+                &v.rates,
+                &v.states,
+                v.nstar.as_ref(),
             ) {
                 w.write(&line).expect("write verdict line");
             }
@@ -249,21 +378,21 @@ fn main() {
         );
         scope.artifact(&vpath);
     }
-
-    scope.field("servers", Json::Num(reports.len() as f64));
-    drop(_root);
-    scope.finish();
 }
 
-/// Tails a capture that may still be growing: decodes records as their
-/// bytes land (see [`TailReader`]), feeding each through the live monitor
-/// for provisional incremental verdicts, and returns the complete log
-/// once the writer finishes. Service times are unknown until the capture
-/// completes, so the live pass runs uncalibrated — each span contributes
-/// its own residence time (capped at one work unit) and servers are
-/// labeled `server-<id>`; the batch analysis afterwards is calibrated and
-/// authoritative.
-fn tail_capture(path: &Path, interval_ms: u64) -> fgbd_trace::TraceLog {
+/// Tails a capture that may still be growing: whole chunks are decoded as
+/// their bytes land (see [`TailReader`] and [`CaptureChunks`]), feeding
+/// each through the live monitor for provisional incremental verdicts.
+/// Service times are unknown until the capture completes, so the live
+/// pass runs uncalibrated — each span contributes its own residence time
+/// (capped at one work unit) and servers are labeled `server-<id>`; the
+/// analysis afterwards is calibrated and authoritative.
+///
+/// Returns the materialized log for the batch engine, or `None` under
+/// `FGBD_CAPTURE_MMAP=1` with an `FGBDCAP2` capture — the records are
+/// then *not* retained (tailing stays flat-memory) and the caller runs
+/// the zero-copy engine over the sealed file instead.
+fn tail_capture(path: &Path, interval_ms: u64) -> Option<TraceLog> {
     let tcfg = TailConfig::from_env();
     if !wait_for_file(path, tcfg) {
         eprintln!(
@@ -289,18 +418,30 @@ fn tail_capture(path: &Path, interval_ms: u64) -> fgbd_trace::TraceLog {
         tcfg.poll,
         tcfg.idle
     );
+    // The file exists by now, so the magic probe is reliable; a flat
+    // FGBDCAP1 capture always materializes (the cursor only reads v2).
+    let materialize = !(mmap_from_env() && is_capture2(path));
     let file = File::open(path).expect("open capture file");
     let log = {
         fgbd_obsv::span!("tail_capture");
-        read_capture_tapped(BufReader::new(TailReader::new(file, tcfg)), |rec| {
-            let _ = mon.push(&rec);
-        })
-        .expect("parse capture")
-    };
-    if let Some(end) = log.records.last().map(|r| r.at) {
+        let mut chunks = CaptureChunks::open(BufReader::new(TailReader::new(file, tcfg)))
+            .expect("parse capture");
+        let mut log = TraceLog::new(chunks.nodes().to_vec());
+        let mut end = SimTime::ZERO;
+        for chunk in &mut chunks {
+            let chunk = chunk.expect("parse capture");
+            let _ = mon.push_chunk(&chunk);
+            if let Some(last) = chunk.last() {
+                end = last.at;
+            }
+            if materialize {
+                log.records.extend(chunk);
+            }
+        }
         if end > SimTime::ZERO {
             let _ = mon.finish(end);
         }
-    }
-    log
+        log
+    };
+    materialize.then_some(log)
 }

@@ -1,9 +1,12 @@
 //! Million-user smoke run: simulates a `users: 10^6` closed-loop
-//! population and spills its capture straight to a chunked `FGBDCAP2`
-//! file, proving the two memory claims of the scale work at once —
-//! the SoA user table costs a flat 20 bytes per user, and the record tap
-//! plus chunked writer keep the capture out of memory entirely (at most
-//! one encode buffer of `FGBD_CAPTURE_CHUNK` records is ever resident).
+//! population, spills its capture straight to a chunked `FGBDCAP2` file,
+//! and then **analyzes that capture through the zero-copy path** — proving
+//! the three memory claims of the scale work at once: the SoA user table
+//! costs a flat 20 bytes per user, the record tap plus chunked writer keep
+//! the capture out of memory while writing (at most one encode buffer of
+//! `FGBD_CAPTURE_CHUNK` records is ever resident), and the mmap-backed
+//! chunk cursor keeps it out of memory while *reading* (one decoded chunk
+//! resident, consumed pages released behind the scan).
 //!
 //! ```bash
 //! cargo run -p fgbd-repro --release --bin million_users -- \
@@ -11,30 +14,28 @@
 //! ```
 //!
 //! Defaults: 1,000,000 users, 10 s, `target/experiments/million.fgbdcap`.
-//! Prints records written, throughput, and the process peak RSS (`VmHWM`)
-//! so a sweep over `users` can show memory stays flat. A run manifest is
-//! written to `out/manifests/million_users.*`.
+//! Prints records written, throughput, analyze wall time, and the process
+//! peak RSS (`VmHWM`) after each stage so a sweep over `users` can show
+//! memory stays flat. A run manifest is written to
+//! `out/manifests/million_users.*`.
 
 use std::fs::File;
 use std::io::BufWriter;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use fgbd_des::SimDuration;
 use fgbd_ntier::config::{Jdk, SystemConfig};
 use fgbd_ntier::system::NTierSystem;
 use fgbd_obsv::json::Json;
+use fgbd_obsv::metrics::vm_hwm_kib;
 use fgbd_repro::report::out_dir;
 use fgbd_repro::scenario::MASTER_SEED;
+use fgbd_repro::zerocopy::analyze_capture2_zero_copy;
+use fgbd_trace::capture2::threads_from_env;
 use fgbd_trace::ChunkedWriter;
-
-/// Peak resident set size of this process in KiB, from the kernel's
-/// `VmHWM` accounting. `None` off Linux or if `/proc` is unavailable.
-fn vm_hwm_kib() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
-}
 
 fn main() {
     let args = fgbd_repro::harness::parse_std_flags();
@@ -112,11 +113,48 @@ fn main() {
     if let Some(kib) = vm_hwm_kib() {
         fgbd_obsv::log!(
             "million_users",
-            "  peak RSS {:.1} MiB (VmHWM)",
+            "  peak RSS after simulate {:.1} MiB (VmHWM)",
             kib as f64 / 1024.0
         );
-        scope.field("vm_hwm_kib", Json::Num(kib as f64));
+        scope.field("vm_hwm_sim_kib", Json::Num(kib as f64));
     }
+
+    // Read the capture back through the zero-copy pipeline: mmap, lazy
+    // projected chunk decode, online detection. VmHWM is a process-lifetime
+    // high-water mark, so a flat reading here proves the analyze stage
+    // never exceeded what the simulation already used — the real claim.
+    let wall = Instant::now();
+    let za = {
+        fgbd_obsv::span!("million_analyze");
+        analyze_capture2_zero_copy(
+            Path::new(&path),
+            SimDuration::from_millis(50),
+            threads_from_env(),
+        )
+        .expect("analyze capture")
+    };
+    let wall = wall.elapsed();
+    fgbd_obsv::log!(
+        "million_users",
+        "  zero-copy analyze: {} records, {} servers reported in {:.2}s",
+        za.records,
+        za.reports.len(),
+        wall.as_secs_f64()
+    );
+    assert_eq!(
+        za.records, records,
+        "analyze must see every streamed record"
+    );
+    scope.field("analyze_secs", Json::Num(wall.as_secs_f64()));
+    scope.field("analyze_servers", Json::Num(za.reports.len() as f64));
+    if let Some(kib) = vm_hwm_kib() {
+        fgbd_obsv::log!(
+            "million_users",
+            "  peak RSS after analyze {:.1} MiB (VmHWM)",
+            kib as f64 / 1024.0
+        );
+    }
+
     scope.artifact(&path);
     scope.finish();
     fgbd_obsv::log!("million_users", "wrote {path}");

@@ -20,6 +20,9 @@
 //!   run writes a `fgbd.run-manifest/v1` document under `out/manifests/`.
 //! * [`plot`] / [`report`] — terminal rendering and CSV/summary output under
 //!   `target/experiments/`.
+//! * [`zerocopy`] — the mmap-backed capture analysis path
+//!   (`FGBD_CAPTURE_MMAP=1`): lazy projected chunk decode streamed straight
+//!   into the online detector, peak memory independent of capture size.
 //!
 //! Run a single figure:
 //!
@@ -42,6 +45,7 @@ pub mod plot;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
+pub mod zerocopy;
 
 pub use pipeline::{Analysis, Calibration};
 pub use report::ExperimentSummary;

@@ -9,7 +9,7 @@ use fgbd_des::{SimDuration, SimTime};
 use fgbd_ntier::result::RunResult;
 use fgbd_trace::reconstruct::{Heuristic, Reconstruction};
 use fgbd_trace::servicetime::ServiceTimeTable;
-use fgbd_trace::{NodeId, SpanSet};
+use fgbd_trace::{MsgRecord, NodeId, NodeKind, NodeMeta, SpanSet, TraceLog};
 
 use crate::scenario::Scenario;
 
@@ -19,6 +19,28 @@ pub const WORK_UNIT_RESOLUTION: SimDuration = SimDuration::from_micros(100);
 /// Quantile of intra-node delays used as the service-time approximation
 /// (low quantile ≈ queueing-free, per the paper's low-load measurement).
 pub const SERVICE_QUANTILE: f64 = 0.15;
+
+/// Default record budget for capture self-calibration (see
+/// [`calib_records_from_env`]).
+pub const DEFAULT_CALIB_RECORDS: usize = 1 << 20;
+
+/// Records of a capture used for service-time self-calibration
+/// (`FGBD_CALIB_RECORDS`, default [`DEFAULT_CALIB_RECORDS`] = 1 Mi).
+///
+/// Reconstruction needs random access over the records it calibrates on,
+/// which is at odds with analyzing arbitrarily large captures in flat
+/// memory — so calibration reads a bounded *prefix* and every capture
+/// smaller than the budget (all the CI fixtures) calibrates over its whole
+/// self, exactly as before the cap existed. Both the batch and the
+/// zero-copy analysis paths apply the same cap, which is one of the
+/// ingredients of their byte-identical output.
+pub fn calib_records_from_env() -> usize {
+    std::env::var("FGBD_CALIB_RECORDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CALIB_RECORDS)
+}
 
 /// Service-time calibration derived from a dedicated low-load run.
 #[derive(Debug, Clone)]
@@ -82,6 +104,45 @@ impl Calibration {
     /// Calibrates a scenario by running its low-load calibration workload.
     pub fn for_scenario(scenario: &Scenario) -> Calibration {
         Calibration::from_run(&scenario.calibration_run())
+    }
+
+    /// Self-calibration from a capture prefix: reconstruction + low-quantile
+    /// service-time approximation over `records` (the caller truncates to
+    /// [`calib_records_from_env`]), with work units and mean service times
+    /// for every server node of `nodes`. This is what `analyze_capture`
+    /// uses on both its batch and zero-copy paths — same records in, same
+    /// tables out, regardless of how the rest of the capture is decoded.
+    pub fn from_capture_prefix(nodes: &[NodeMeta], records: &[MsgRecord]) -> Calibration {
+        fgbd_obsv::span!("calibrate");
+        let mut log = TraceLog::new(nodes.to_vec());
+        log.records = records.to_vec();
+        let rec = Reconstruction::run(&log, Heuristic::ProfileGuided);
+        let services = ServiceTimeTable::approximate(&rec, SERVICE_QUANTILE);
+        let spans = SpanSet::extract(&log);
+        let mut work_units = HashMap::new();
+        let mut mean_service = HashMap::new();
+        for meta in nodes.iter().filter(|n| n.kind == NodeKind::Server) {
+            let node = meta.id;
+            if let Some(wu) = services.work_unit(node, WORK_UNIT_RESOLUTION) {
+                work_units.insert(node, wu);
+            }
+            let mut total = 0.0f64;
+            let mut n = 0u64;
+            for s in spans.server(node) {
+                if let Some(svc) = services.get_secs(node, s.class) {
+                    total += svc;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                mean_service.insert(node, SimDuration::from_secs_f64(total / n as f64));
+            }
+        }
+        Calibration {
+            services,
+            work_units,
+            mean_service,
+        }
     }
 
     /// Work unit for `node`, defaulting to the resolution when the node was

@@ -189,19 +189,25 @@ pub fn read_capture<R: Read>(r: R) -> Result<TraceLog, CaptureError> {
 
 /// Reads a capture file, using the parallel chunk decoder for `FGBDCAP2`
 /// inputs when `FGBD_CAPTURE_THREADS` (or the host parallelism) allows —
-/// the fastest way to materialize a whole capture. The decoded log is
-/// identical to [`read_capture`]'s, byte for byte, at every thread count.
+/// the fastest way to materialize a whole capture. Under
+/// `FGBD_CAPTURE_MMAP=1` the file is memory-mapped instead of heap-read
+/// (`crate::mmapio`); the decoded log is identical to [`read_capture`]'s,
+/// byte for byte, at every thread count either way.
 ///
 /// # Errors
 ///
 /// Propagates [`CaptureError::Io`] for filesystem failures plus everything
 /// [`read_capture`] can return.
 pub fn read_capture_file(path: &Path) -> Result<TraceLog, CaptureError> {
-    let bytes = std::fs::read(path)?;
+    let bytes = if crate::mmapio::mmap_from_env() {
+        crate::mmapio::Mapping::open(path)?
+    } else {
+        crate::mmapio::Mapping::heap(std::fs::read(path)?)
+    };
     if bytes.len() >= 8 && &bytes[..8] == crate::capture2::MAGIC2 {
         crate::capture2::read_capture2_parallel(&bytes, crate::capture2::threads_from_env())
     } else {
-        read_capture(bytes.as_slice())
+        read_capture(&*bytes)
     }
 }
 

@@ -49,6 +49,7 @@
 //! lets million-user runs write captures without materializing a
 //! [`TraceLog`].
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -355,6 +356,91 @@ fn read_column(
     Ok(())
 }
 
+/// Skips one encoded column without materializing it. Dictionary columns
+/// skip their packed index block in O(dictionary) — the payoff of column
+/// projection — while plain columns still walk their varints (no length
+/// prefix to jump by). The bytes consumed are exactly what
+/// [`read_column`] would consume, so the end-of-chunk trailing check
+/// holds under any projection.
+fn skip_column(r: &mut PayloadReader<'_>, n: usize) -> Result<(), CaptureError> {
+    let chunk = r.chunk;
+    let bad = |what: &'static str| CaptureError::Chunk { index: chunk, what };
+    match r.bytes(1)?[0] {
+        COL_PLAIN => {
+            for _ in 0..n {
+                r.varint()?;
+            }
+        }
+        COL_DICT => {
+            let dict_len = r.varint()? as usize;
+            if dict_len > DICT_MAX_ENTRIES || (dict_len == 0 && n > 0) {
+                return Err(bad("bad dictionary"));
+            }
+            for _ in 0..dict_len {
+                r.varint()?;
+            }
+            if n == 0 || dict_len == 0 {
+                return Ok(());
+            }
+            let width = dict_width(dict_len);
+            if width > 0 {
+                r.bytes((n as u64 * u64::from(width)).div_ceil(8) as usize)?;
+            }
+        }
+        _ => return Err(bad("unknown column encoding")),
+    }
+    Ok(())
+}
+
+/// Which columns a chunk decode materializes. Timestamps are always
+/// decoded (they create the records); every other column can be skipped,
+/// leaving its field at the [`MsgRecord`] default. Skipping is *legal*
+/// for a consumer exactly when it never reads the field — see the
+/// "Zero-copy analysis" section of DESIGN.md for the per-consumer table.
+/// The chunk checksum always covers the full payload, so corruption is
+/// detected (and attributed per chunk) even in skipped columns;
+/// projection only forgoes the skipped columns' semantic range checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Projection {
+    /// Decode `src` (message source node).
+    pub src: bool,
+    /// Decode `dst` (message destination node).
+    pub dst: bool,
+    /// Decode `kind` (request/response).
+    pub kind: bool,
+    /// Decode `conn` (connection id — FIFO pairing key).
+    pub conn: bool,
+    /// Decode `class` (request class — service-time lookup key).
+    pub class: bool,
+    /// Decode `bytes` (message size).
+    pub bytes: bool,
+    /// Decode `truth` (ground-truth transaction annotations).
+    pub truth: bool,
+}
+
+impl Projection {
+    /// Decode everything — the reference projection; bit-identical to the
+    /// pre-projection decoder.
+    pub const ALL: Projection = Projection {
+        src: true,
+        dst: true,
+        kind: true,
+        conn: true,
+        class: true,
+        bytes: true,
+        truth: true,
+    };
+
+    /// What detection needs: span pairing reads `(src, dst, kind, conn)`
+    /// and service lookup reads `class`; `bytes` and the ground-truth
+    /// column are never consulted by the black-box detector.
+    pub const DETECT: Projection = Projection {
+        bytes: false,
+        truth: false,
+        ..Projection::ALL
+    };
+}
+
 // --- chunk encode / decode ---------------------------------------------------
 
 fn encode_chunk_payload(records: &[MsgRecord], min_at: u64) -> Vec<u8> {
@@ -411,6 +497,29 @@ fn decode_chunk_payload(
     max_at: u64,
     out: &mut Vec<MsgRecord>,
 ) -> Result<(), CaptureError> {
+    decode_chunk_projected(
+        payload,
+        index,
+        record_count,
+        min_at,
+        max_at,
+        Projection::ALL,
+        out,
+    )
+}
+
+/// [`decode_chunk_payload`] with column projection: skipped columns are
+/// walked (and still covered by the already-verified checksum) but never
+/// materialized, leaving their record fields at the defaults.
+fn decode_chunk_projected(
+    payload: &[u8],
+    index: u32,
+    record_count: u32,
+    min_at: u64,
+    max_at: u64,
+    proj: Projection,
+    out: &mut Vec<MsgRecord>,
+) -> Result<(), CaptureError> {
     let n = record_count as usize;
     let mut r = PayloadReader {
         buf: payload,
@@ -443,67 +552,108 @@ fn decode_chunk_payload(
     if n > 0 && (records[0].at.as_micros() != min_at || prev != max_at) {
         return Err(bad("timestamp bounds mismatch"));
     }
-    read_column(
-        &mut r,
-        records,
-        u64::from(u16::MAX),
-        "src out of range",
-        |rec, v| {
-            rec.src = NodeId(v as u16);
-        },
-    )?;
-    read_column(
-        &mut r,
-        records,
-        u64::from(u16::MAX),
-        "dst out of range",
-        |rec, v| {
-            rec.dst = NodeId(v as u16);
-        },
-    )?;
-    read_column(&mut r, records, 1, "unknown message kind", |rec, v| {
-        rec.kind = if v == 0 {
-            MsgKind::Request
-        } else {
-            MsgKind::Response
-        };
-    })?;
-    read_column(
-        &mut r,
-        records,
-        u64::from(u32::MAX),
-        "conn out of range",
-        |rec, v| {
-            rec.conn = ConnId(v as u32);
-        },
-    )?;
-    read_column(
-        &mut r,
-        records,
-        u64::from(u16::MAX),
-        "class out of range",
-        |rec, v| {
-            rec.class = ClassId(v as u16);
-        },
-    )?;
-    read_column(
-        &mut r,
-        records,
-        u64::from(u32::MAX),
-        "bytes out of range",
-        |rec, v| {
-            rec.bytes = v as u32;
-        },
-    )?;
+    if proj.src {
+        read_column(
+            &mut r,
+            records,
+            u64::from(u16::MAX),
+            "src out of range",
+            |rec, v| {
+                rec.src = NodeId(v as u16);
+            },
+        )?;
+    } else {
+        skip_column(&mut r, n)?;
+    }
+    if proj.dst {
+        read_column(
+            &mut r,
+            records,
+            u64::from(u16::MAX),
+            "dst out of range",
+            |rec, v| {
+                rec.dst = NodeId(v as u16);
+            },
+        )?;
+    } else {
+        skip_column(&mut r, n)?;
+    }
+    if proj.kind {
+        read_column(&mut r, records, 1, "unknown message kind", |rec, v| {
+            rec.kind = if v == 0 {
+                MsgKind::Request
+            } else {
+                MsgKind::Response
+            };
+        })?;
+    } else {
+        skip_column(&mut r, n)?;
+    }
+    if proj.conn {
+        read_column(
+            &mut r,
+            records,
+            u64::from(u32::MAX),
+            "conn out of range",
+            |rec, v| {
+                rec.conn = ConnId(v as u32);
+            },
+        )?;
+    } else {
+        skip_column(&mut r, n)?;
+    }
+    if proj.class {
+        read_column(
+            &mut r,
+            records,
+            u64::from(u16::MAX),
+            "class out of range",
+            |rec, v| {
+                rec.class = ClassId(v as u16);
+            },
+        )?;
+    } else {
+        skip_column(&mut r, n)?;
+    }
+    if proj.bytes {
+        read_column(
+            &mut r,
+            records,
+            u64::from(u32::MAX),
+            "bytes out of range",
+            |rec, v| {
+                rec.bytes = v as u32;
+            },
+        )?;
+    } else {
+        skip_column(&mut r, n)?;
+    }
     let bitmap = r.bytes(n.div_ceil(8))?;
-    let mut prev_truth: u64 = 0;
-    for (i, rec) in records.iter_mut().enumerate() {
-        if bitmap[i / 8] >> (i % 8) & 1 == 1 {
-            prev_truth = prev_truth.wrapping_add(unzigzag(r.varint()?) as u64);
-            if prev_truth == NO_TRUTH {
-                return Err(bad("reserved truth value"));
+    if proj.truth {
+        let mut prev_truth: u64 = 0;
+        for (i, rec) in records.iter_mut().enumerate() {
+            if bitmap[i / 8] >> (i % 8) & 1 == 1 {
+                prev_truth = prev_truth.wrapping_add(unzigzag(r.varint()?) as u64);
+                if prev_truth == NO_TRUTH {
+                    return Err(bad("reserved truth value"));
+                }
+                rec.truth = Some(TxnId(prev_truth));
             }
-            rec.truth = Some(TxnId(prev_truth));
+        }
+    } else {
+        // Bits at positions >= n are padding the full decode never reads;
+        // mask them out of the last byte before counting how many truth
+        // varints follow.
+        let mut present: usize = 0;
+        for (byte_i, &b) in bitmap.iter().enumerate() {
+            let mut b = b;
+            if byte_i == n / 8 {
+                b &= ((1u16 << (n % 8)) - 1) as u8;
+            }
+            present += b.count_ones() as usize;
+        }
+        for _ in 0..present {
+            r.varint()?;
         }
     }
     if r.pos != payload.len() {
@@ -832,6 +982,17 @@ fn decode_indexed_chunk(
     info: ChunkInfo,
     out: &mut Vec<MsgRecord>,
 ) -> Result<(), CaptureError> {
+    decode_indexed_chunk_projected(bytes, index, info, Projection::ALL, out)
+}
+
+/// [`decode_indexed_chunk`] with column projection.
+fn decode_indexed_chunk_projected(
+    bytes: &[u8],
+    index: u32,
+    info: ChunkInfo,
+    proj: Projection,
+    out: &mut Vec<MsgRecord>,
+) -> Result<(), CaptureError> {
     let bad = |what: &'static str| CaptureError::Chunk { index, what };
     let start = info.offset as usize;
     let header = bytes
@@ -854,7 +1015,7 @@ fn decode_indexed_chunk(
     if checksum64(payload) != checksum {
         return Err(bad("checksum mismatch"));
     }
-    decode_chunk_payload(payload, index, record_count, min_at, max_at, out)
+    decode_chunk_projected(payload, index, record_count, min_at, max_at, proj, out)
 }
 
 /// Effective decode parallelism on a host with `host_cores` usable cores.
@@ -897,9 +1058,24 @@ fn decode_chunks_parallel(
         }
         return Ok(());
     }
-    // Work-stealing over the chunk list: each worker claims the next
-    // un-decoded chunk and records (slot, result); reassembly is by slot,
-    // so thread scheduling never reorders output.
+    let mut slots = decode_slots(bytes, selected, threads, Projection::ALL);
+    for slot in slots.drain(..) {
+        out.extend(slot.expect("every chunk slot claimed")?);
+    }
+    Ok(())
+}
+
+/// Work-stealing fan-out over `selected`: each worker claims the next
+/// un-decoded chunk and records (slot, result); the returned vector is
+/// ordered by slot, so thread scheduling never reorders output. Shared by
+/// the batch reader (which flattens the slots into one record vector) and
+/// the [`ChunkCursor`] decode-ahead path (which queues them chunk-wise).
+fn decode_slots(
+    bytes: &[u8],
+    selected: &[(u32, ChunkInfo)],
+    threads: usize,
+    proj: Projection,
+) -> Vec<Option<Result<Vec<MsgRecord>, CaptureError>>> {
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<Result<Vec<MsgRecord>, CaptureError>>> =
         (0..selected.len()).map(|_| None).collect();
@@ -915,7 +1091,7 @@ fn decode_chunks_parallel(
                             return mine;
                         };
                         let mut buf = Vec::new();
-                        let result = decode_indexed_chunk(bytes, i, info, &mut buf);
+                        let result = decode_indexed_chunk_projected(bytes, i, info, proj, &mut buf);
                         mine.push((slot, result.map(|()| buf)));
                     }
                 })
@@ -927,10 +1103,7 @@ fn decode_chunks_parallel(
             }
         }
     });
-    for slot in slots {
-        out.extend(slot.expect("every chunk slot claimed")?);
-    }
-    Ok(())
+    slots
 }
 
 /// Reads an in-memory `FGBDCAP2` capture, decoding chunks across `threads`
@@ -987,6 +1160,283 @@ pub fn read_capture2_range(
         at >= lo && at <= hi
     });
     Ok(log)
+}
+
+// --- lazy chunk cursor -------------------------------------------------------
+
+/// Lazy, zero-copy cursor over an in-memory `FGBDCAP2` capture.
+///
+/// Borrows the capture bytes (a heap buffer or an [`mmapio::Mapping`]
+/// dereference — see `crate::mmapio`), parses only the footer index up
+/// front, and decodes chunks on demand into a caller-supplied buffer, so
+/// peak memory is one chunk (times the decode-ahead depth under
+/// [`with_threads`](Self::with_threads)) regardless of capture size.
+///
+/// Three forms of work avoidance compose:
+///
+/// - **Column projection** ([`with_projection`](Self::with_projection)):
+///   skipped columns are walked but never materialized; the per-chunk
+///   checksum still covers them, so corruption attribution is unaffected.
+/// - **Time-range pushdown** ([`with_time_range`](Self::with_time_range)):
+///   chunks wholly outside the window are pruned from the footer index
+///   `{min_at, max_at}` entries before any payload byte is touched.
+///   Pruning is chunk-granular: surviving chunks may carry records
+///   outside the window — filter per record if exact bounds matter.
+/// - **Server pushdown** ([`with_server`](Self::with_server)): chunks
+///   whose `src` *and* `dst` dictionaries provably exclude a node are
+///   skipped after a header-only probe (timestamp walk + dictionary
+///   scan, no column materialization). The probe is conservative: plain
+///   encodings, damaged chunks, and dictionary hits all keep the chunk.
+///
+/// Decode order is always chunk order — with `threads > 1` a work-stealing
+/// batch decodes ahead and results are re-queued by slot, so output is
+/// deterministic at any thread count, same as [`read_capture2_parallel`].
+pub struct ChunkCursor<'a> {
+    bytes: &'a [u8],
+    nodes: Vec<NodeMeta>,
+    selected: Vec<(u32, ChunkInfo)>,
+    /// Next selected chunk to *decode* (may run ahead of `yielded`).
+    next: usize,
+    /// Selected chunks already handed to the caller.
+    yielded: usize,
+    projection: Projection,
+    threads: usize,
+    ahead: VecDeque<Result<Vec<MsgRecord>, CaptureError>>,
+}
+
+impl<'a> ChunkCursor<'a> {
+    /// Opens a cursor over `bytes`, parsing the node table and footer
+    /// index (the only eager work). All chunks are selected, the
+    /// projection is [`Projection::ALL`], and decode is sequential until
+    /// the builders say otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaptureError::BadMagic`] for foreign inputs (including
+    /// `FGBDCAP1` — the cursor is `FGBDCAP2`-only; batch-read flat
+    /// captures instead) and [`CaptureError::Malformed`] for a damaged
+    /// header or footer.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, CaptureError> {
+        let idx = parse_index(bytes)?;
+        let selected = idx
+            .chunks
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        Ok(ChunkCursor {
+            bytes,
+            nodes: idx.nodes,
+            selected,
+            next: 0,
+            yielded: 0,
+            projection: Projection::ALL,
+            threads: 1,
+            ahead: VecDeque::new(),
+        })
+    }
+
+    /// Sets which columns [`next_chunk`](Self::next_chunk) materializes.
+    pub fn with_projection(mut self, proj: Projection) -> Self {
+        self.projection = proj;
+        self
+    }
+
+    /// Prunes chunks with no overlap with `from..=to` (inclusive bounds in
+    /// microsecond capture time) from the walk, using only the footer
+    /// index. Surviving chunks decode whole — records are *not* filtered.
+    pub fn with_time_range(mut self, from: SimTime, to: SimTime) -> Self {
+        let (lo, hi) = (from.as_micros(), to.as_micros());
+        self.selected
+            .retain(|(_, c)| c.max_at >= lo && c.min_at <= hi);
+        self
+    }
+
+    /// Prunes chunks that provably never mention `node` as source or
+    /// destination, by probing the `src`/`dst` dictionary headers.
+    /// Conservative: a chunk only drops when both columns are
+    /// dictionary-encoded, intact, and exclude the node.
+    pub fn with_server(mut self, node: NodeId) -> Self {
+        let bytes = self.bytes;
+        self.selected
+            .retain(|&(_, c)| chunk_may_touch(bytes, c, node.0));
+        self
+    }
+
+    /// Decodes up to `threads` chunks ahead with the work-stealing
+    /// fan-out; results are still yielded in chunk order. Values below 2
+    /// (and any value on a <2-core host — see [`effective_decode_threads`])
+    /// keep the sequential in-place path.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        let host = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        self.threads = effective_decode_threads(threads.max(1), host);
+        self
+    }
+
+    /// The capture's node table.
+    pub fn nodes(&self) -> &[NodeMeta] {
+        &self.nodes
+    }
+
+    /// Total records across the *selected* chunks (after pushdown), from
+    /// the footer index alone.
+    pub fn total_records(&self) -> u64 {
+        self.selected
+            .iter()
+            .map(|(_, c)| u64::from(c.record_count))
+            .sum()
+    }
+
+    /// Number of chunks the walk will visit (after pushdown).
+    pub fn chunk_count(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// `(first, last)` record timestamps across the selected chunks, in
+    /// microsecond capture time; `None` when nothing survived selection.
+    pub fn time_bounds(&self) -> Option<(u64, u64)> {
+        let first = self.selected.first()?.1.min_at;
+        let last = self.selected.last()?.1.max_at;
+        Some((first, last))
+    }
+
+    /// Byte offset before which the cursor will never read again: the
+    /// start of the next un-yielded chunk, or the capture length once the
+    /// walk is done. Feed this to [`mmapio::Mapping::release_until`] to
+    /// keep resident memory flat while scanning a mapped capture.
+    pub fn consumed_bytes(&self) -> usize {
+        match self.selected.get(self.yielded) {
+            Some(&(_, info)) => info.offset as usize,
+            None => self.bytes.len(),
+        }
+    }
+
+    /// Decodes the next selected chunk into `out` (clearing it first).
+    /// Returns `Ok(false)` when the walk is complete.
+    ///
+    /// # Errors
+    ///
+    /// [`CaptureError::Chunk`] naming the failing chunk, exactly as the
+    /// batch readers attribute it; the cursor then resumes with the next
+    /// chunk if polled again.
+    pub fn next_chunk(&mut self, out: &mut Vec<MsgRecord>) -> Result<bool, CaptureError> {
+        out.clear();
+        if self.ahead.is_empty() && self.next < self.selected.len() {
+            if self.threads <= 1 {
+                let (i, info) = self.selected[self.next];
+                self.next += 1;
+                self.yielded += 1;
+                decode_indexed_chunk_projected(self.bytes, i, info, self.projection, out)?;
+                return Ok(true);
+            }
+            self.decode_ahead();
+        }
+        match self.ahead.pop_front() {
+            Some(res) => {
+                self.yielded += 1;
+                *out = res?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Decodes the next batch of (at most `threads`) chunks in parallel
+    /// into the `ahead` queue, preserving chunk order.
+    fn decode_ahead(&mut self) {
+        let end = (self.next + self.threads).min(self.selected.len());
+        let batch = &self.selected[self.next..end];
+        let workers = self.threads.min(batch.len()).max(1);
+        let mut slots = decode_slots(self.bytes, batch, workers, self.projection);
+        for slot in slots.drain(..) {
+            self.ahead
+                .push_back(slot.expect("every chunk slot claimed"));
+        }
+        self.next = end;
+    }
+}
+
+impl std::fmt::Debug for ChunkCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkCursor")
+            .field("capture_bytes", &self.bytes.len())
+            .field("chunks", &self.selected.len())
+            .field("yielded", &self.yielded)
+            .field("projection", &self.projection)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Best-effort probe: can chunk `info` mention `node` as src or dst?
+/// `true` means "maybe" — only a chunk whose src *and* dst columns are
+/// intact dictionaries excluding `node` answers `false`. Damage is left
+/// for the real decode to attribute.
+fn chunk_may_touch(bytes: &[u8], info: ChunkInfo, node: u16) -> bool {
+    let start = info.offset as usize;
+    let Some(header) = bytes.get(start..start + CHUNK_HEADER_LEN) else {
+        return true;
+    };
+    if header[0] != TAG_CHUNK {
+        return true;
+    }
+    let record_count = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+    let byte_len = u32::from_le_bytes(header[21..25].try_into().unwrap()) as usize;
+    let Some(payload) = bytes.get(start + CHUNK_HEADER_LEN..start + CHUNK_HEADER_LEN + byte_len)
+    else {
+        return true;
+    };
+    let mut r = PayloadReader {
+        buf: payload,
+        pos: 0,
+        chunk: 0,
+    };
+    // Walk the timestamp column to reach the src column.
+    for _ in 0..record_count {
+        if r.varint().is_err() {
+            return true;
+        }
+    }
+    for _ in 0..2 {
+        match probe_dict_column(&mut r, record_count, u64::from(node)) {
+            Some(true) => return true, // dictionary mentions the node
+            Some(false) => {}          // provably absent; check next column
+            None => return true,       // unprobeable (plain/damaged)
+        }
+    }
+    false
+}
+
+/// Probes one column header: `Some(true)` when its dictionary contains
+/// `value`, `Some(false)` when it provably does not (cursor advanced past
+/// the column), `None` when the column cannot be probed.
+fn probe_dict_column(r: &mut PayloadReader<'_>, n: usize, value: u64) -> Option<bool> {
+    if r.bytes(1).ok()?[0] != COL_DICT {
+        return None;
+    }
+    let dict_len = r.varint().ok()? as usize;
+    if dict_len > DICT_MAX_ENTRIES || (dict_len == 0 && n > 0) {
+        return None;
+    }
+    let mut found = false;
+    for _ in 0..dict_len {
+        if r.varint().ok()? == value {
+            found = true;
+        }
+    }
+    if found {
+        return Some(true);
+    }
+    if n > 0 && dict_len > 0 {
+        let width = dict_width(dict_len);
+        if width > 0 {
+            r.bytes((n as u64 * u64::from(width)).div_ceil(8) as usize)
+                .ok()?;
+        }
+    }
+    Some(false)
 }
 
 // --- dual-format chunk iterator ----------------------------------------------
@@ -1230,6 +1680,185 @@ mod tests {
             Err(CaptureError::Chunk { index: 1, .. }) => {}
             other => panic!("expected chunk-1 error, got {other:?}"),
         }
+    }
+
+    fn drain_cursor(mut cur: ChunkCursor<'_>) -> Vec<MsgRecord> {
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        while cur.next_chunk(&mut buf).unwrap() {
+            out.extend_from_slice(&buf);
+        }
+        out
+    }
+
+    #[test]
+    fn cursor_matches_batch_reader_at_any_thread_count() {
+        let log = sample_log(1000);
+        let bytes = encode(&log, 64);
+        for threads in [1, 2, 4, 7] {
+            let cur = ChunkCursor::new(&bytes).unwrap().with_threads(threads);
+            assert_eq!(cur.total_records(), 1000);
+            assert_eq!(cur.time_bounds(), Some((100, 100 + 999 * 7)));
+            assert_eq!(cur.nodes(), &log.nodes[..]);
+            assert_eq!(drain_cursor(cur), log.records);
+        }
+    }
+
+    #[test]
+    fn cursor_consumed_bytes_is_monotone_and_ends_at_len() {
+        let log = sample_log(500);
+        let bytes = encode(&log, 64);
+        let mut cur = ChunkCursor::new(&bytes).unwrap();
+        let mut buf = Vec::new();
+        let mut prev = cur.consumed_bytes();
+        while cur.next_chunk(&mut buf).unwrap() {
+            let now = cur.consumed_bytes();
+            assert!(now >= prev, "watermark went backwards: {prev} -> {now}");
+            prev = now;
+        }
+        assert_eq!(cur.consumed_bytes(), bytes.len());
+    }
+
+    #[test]
+    fn cursor_projection_skips_exactly_the_unrequested_columns() {
+        let log = sample_log(500);
+        let bytes = encode(&log, 64);
+        let cur = ChunkCursor::new(&bytes)
+            .unwrap()
+            .with_projection(Projection::DETECT);
+        let recs = drain_cursor(cur);
+        assert_eq!(recs.len(), log.records.len());
+        for (got, want) in recs.iter().zip(&log.records) {
+            assert_eq!(got.at, want.at);
+            assert_eq!(got.src, want.src);
+            assert_eq!(got.dst, want.dst);
+            assert_eq!(got.kind, want.kind);
+            assert_eq!(got.conn, want.conn);
+            assert_eq!(got.class, want.class);
+            // Skipped columns stay at the record defaults.
+            assert_eq!(got.bytes, 0);
+            assert_eq!(got.truth, None);
+        }
+    }
+
+    #[test]
+    fn cursor_time_range_pushdown_prunes_whole_chunks() {
+        let log = sample_log(1000); // at = 100 + i*7, chunks of 100 records
+        let bytes = encode(&log, 100);
+        let full = ChunkCursor::new(&bytes).unwrap();
+        assert_eq!(full.chunk_count(), 10);
+        let (from, to) = (
+            SimTime::from_micros(100 + 250 * 7),
+            SimTime::from_micros(100 + 450 * 7),
+        );
+        let cur = ChunkCursor::new(&bytes).unwrap().with_time_range(from, to);
+        // Records 250..=450 live in chunks 2, 3, 4.
+        assert_eq!(cur.chunk_count(), 3);
+        let recs = drain_cursor(cur);
+        assert_eq!(recs, log.records[200..500]);
+        // Chunk-granular: the survivors decode whole, superset of the window.
+        assert!(recs.first().unwrap().at < from && recs.last().unwrap().at > to);
+    }
+
+    #[test]
+    fn cursor_server_pushdown_drops_only_provably_absent_chunks() {
+        let mut all = nodes();
+        all.push(NodeMeta {
+            id: NodeId(2),
+            name: "app-1".into(),
+            kind: NodeKind::Server,
+            tier: Some(1),
+        });
+        let mut log = TraceLog::new(all);
+        for i in 0..400u64 {
+            let far = if i < 200 { NodeId(1) } else { NodeId(2) };
+            log.push(MsgRecord {
+                at: SimTime::from_micros(100 + i * 7),
+                src: if i % 2 == 0 { NodeId(0) } else { far },
+                dst: if i % 2 == 0 { far } else { NodeId(0) },
+                kind: if i % 2 == 0 {
+                    MsgKind::Request
+                } else {
+                    MsgKind::Response
+                },
+                conn: ConnId((i % 5) as u32),
+                class: ClassId((i % 3) as u16),
+                bytes: 256,
+                truth: None,
+            });
+        }
+        let bytes = encode(&log, 100);
+        // Node 2 appears only in the last two of four chunks.
+        let cur = ChunkCursor::new(&bytes).unwrap().with_server(NodeId(2));
+        assert_eq!(cur.chunk_count(), 2);
+        let recs = drain_cursor(cur);
+        assert_eq!(recs, log.records[200..]);
+        // A node in every chunk prunes nothing; an unknown node prunes all.
+        assert_eq!(
+            ChunkCursor::new(&bytes)
+                .unwrap()
+                .with_server(NodeId(0))
+                .chunk_count(),
+            4
+        );
+        assert_eq!(
+            ChunkCursor::new(&bytes)
+                .unwrap()
+                .with_server(NodeId(9))
+                .chunk_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn cursor_attributes_corruption_and_resumes() {
+        let log = sample_log(300);
+        let mut bytes = encode(&log, 100);
+        let idx = parse_index(&bytes).unwrap();
+        let victim = idx.chunks[1].offset as usize + CHUNK_HEADER_LEN + 3;
+        bytes[victim] ^= 0xFF;
+        // Projection does not weaken detection: the checksum covers the
+        // whole payload, skipped columns included.
+        let project = |r: &MsgRecord, proj: Projection| MsgRecord {
+            bytes: if proj.bytes { r.bytes } else { 0 },
+            truth: if proj.truth { r.truth } else { None },
+            ..*r
+        };
+        for proj in [Projection::ALL, Projection::DETECT] {
+            let expect = |range: std::ops::Range<usize>| -> Vec<MsgRecord> {
+                log.records[range]
+                    .iter()
+                    .map(|r| project(r, proj))
+                    .collect()
+            };
+            let mut cur = ChunkCursor::new(&bytes).unwrap().with_projection(proj);
+            let mut buf = Vec::new();
+            assert!(cur.next_chunk(&mut buf).unwrap());
+            assert_eq!(buf, expect(0..100));
+            match cur.next_chunk(&mut buf) {
+                Err(CaptureError::Chunk { index: 1, what }) => {
+                    assert_eq!(what, "checksum mismatch");
+                }
+                other => panic!("expected chunk-1 checksum error, got {other:?}"),
+            }
+            // The cursor can keep walking past the damaged chunk.
+            assert!(cur.next_chunk(&mut buf).unwrap());
+            assert_eq!(buf, expect(200..300));
+            assert!(!cur.next_chunk(&mut buf).unwrap());
+        }
+    }
+
+    #[test]
+    fn cursor_handles_an_empty_capture() {
+        let log = TraceLog::new(nodes());
+        let bytes = encode(&log, 8);
+        let mut cur = ChunkCursor::new(&bytes).unwrap();
+        assert_eq!(cur.total_records(), 0);
+        assert_eq!(cur.chunk_count(), 0);
+        assert_eq!(cur.time_bounds(), None);
+        assert_eq!(cur.consumed_bytes(), bytes.len());
+        let mut buf = Vec::new();
+        assert!(!cur.next_chunk(&mut buf).unwrap());
     }
 
     #[test]

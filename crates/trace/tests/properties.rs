@@ -2,9 +2,13 @@
 
 use fgbd_des::SimTime;
 use fgbd_trace::capture::{read_capture, write_capture, CaptureError};
-use fgbd_trace::capture2::{read_capture2_parallel, read_capture2_range, ChunkedWriter};
+use fgbd_trace::capture2::{
+    read_capture2_parallel, read_capture2_range, ChunkCursor, ChunkedWriter,
+};
+use fgbd_trace::mmapio::Mapping;
 use fgbd_trace::reconstruct::{reference, Accuracy, Heuristic, Reconstruction};
 use fgbd_trace::stream::extract_streamed;
+use fgbd_trace::Projection;
 use fgbd_trace::{
     ClassId, ConnId, MsgKind, MsgRecord, NodeId, NodeKind, NodeMeta, SpanSet, StreamConfig,
     TraceLog, TxnId,
@@ -505,6 +509,132 @@ proptest! {
             .filter(|r| r.at >= from && r.at <= to)
             .collect();
         prop_assert_eq!(pruned.records, oracle);
+    }
+
+    /// The lazy chunk cursor is a pure restriction of the full decode:
+    /// under any projection, any chunk size (empty captures, single-chunk
+    /// captures, and trailing partial chunks included), and any time
+    /// range, the records it yields are a contiguous run of the fully
+    /// decoded records (with unprojected columns zeroed) that covers
+    /// every record inside the range — chunk-granular pushdown may only
+    /// widen, never narrow or reorder.
+    #[test]
+    fn cursor_projected_range_decode_is_a_restriction_of_the_full_decode(
+        shapes in prop::collection::vec((0u8..5, 0u16..4, 0u64..400, 2u64..10), 0..15),
+        chunk in 1usize..48,
+        threads in 1usize..4,
+        project in prop::bool::ANY,
+        bounds in (0u64..3_000, 0u64..3_000),
+    ) {
+        let log = interleaved_log(&shapes, 0, 0);
+        let buf = chunked_bytes(&log, chunk);
+        let proj = if project { Projection::DETECT } else { Projection::ALL };
+        let (lo, hi) = (bounds.0.min(bounds.1), bounds.0.max(bounds.1));
+        let (from, to) = (SimTime::from_micros(lo), SimTime::from_micros(hi));
+
+        let mut cursor = ChunkCursor::new(&buf)
+            .expect("open cursor")
+            .with_projection(proj)
+            .with_threads(threads)
+            .with_time_range(from, to);
+        let mut drained = Vec::new();
+        let mut buf_chunk = Vec::new();
+        while cursor.next_chunk(&mut buf_chunk).expect("decode chunk") {
+            drained.extend_from_slice(&buf_chunk);
+        }
+
+        let projected: Vec<MsgRecord> = log
+            .records
+            .iter()
+            .map(|r| MsgRecord {
+                bytes: if proj.bytes { r.bytes } else { 0 },
+                truth: if proj.truth { r.truth } else { None },
+                ..*r
+            })
+            .collect();
+        // Contiguous run of the full projected decode…
+        prop_assert!(
+            drained.is_empty()
+                || projected
+                    .windows(drained.len())
+                    .any(|w| w == drained.as_slice()),
+            "cursor output is not a contiguous run of the full decode"
+        );
+        // …that misses nothing inside the requested range.
+        let inside = |r: &MsgRecord| r.at >= from && r.at <= to;
+        prop_assert_eq!(
+            drained.iter().filter(|r| inside(r)).count(),
+            projected.iter().filter(|r| inside(r)).count()
+        );
+    }
+
+    /// Single-byte chunk-payload corruption survives the mmap path: a
+    /// cursor over a [`Mapping`] of the damaged file names exactly the
+    /// flipped chunk (under full and projected decode alike — the
+    /// checksum covers skipped columns too) and resumes with every other
+    /// chunk decoded intact.
+    #[test]
+    fn cursor_over_a_mapping_attributes_corruption_and_resumes(
+        shapes in prop::collection::vec((0u8..4, 0u16..3, 0u64..200, 2u64..8), 2..8),
+        chunk in 1usize..8,
+        pick in (0usize..1 << 16, 0usize..1 << 16),
+        project in prop::bool::ANY,
+    ) {
+        let log = interleaved_log(&shapes, 0, 0);
+        let mut buf = chunked_bytes(&log, chunk);
+        // Same footer walk as `chunked_corruption_names_the_chunk`.
+        let trailer = buf.len() - 16;
+        let index_offset =
+            u64::from_le_bytes(buf[trailer..trailer + 8].try_into().unwrap()) as usize;
+        let n_chunks =
+            u32::from_le_bytes(buf[index_offset + 1..index_offset + 5].try_into().unwrap())
+                as usize;
+        prop_assert!(n_chunks >= 1);
+        let victim = pick.0 % n_chunks;
+        let entry = index_offset + 5 + victim * 28;
+        let chunk_off =
+            u64::from_le_bytes(buf[entry..entry + 8].try_into().unwrap()) as usize;
+        let byte_len =
+            u32::from_le_bytes(buf[chunk_off + 21..chunk_off + 25].try_into().unwrap())
+                as usize;
+        buf[chunk_off + 33 + pick.1 % byte_len] ^= 0x5A;
+
+        // Through a real file and a real mapping, like `analyze_capture`
+        // under FGBD_CAPTURE_MMAP=1.
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "fgbd_prop_cursor_{}_{}.fgbdcap",
+            std::process::id(),
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        std::fs::write(&path, &buf).expect("write capture file");
+        let map = Mapping::open(&path).expect("map capture file");
+
+        let proj = if project { Projection::DETECT } else { Projection::ALL };
+        let mut cursor = ChunkCursor::new(&map)
+            .expect("open cursor")
+            .with_projection(proj);
+        let mut good = 0usize;
+        let mut bad = Vec::new();
+        let mut out = Vec::new();
+        for i in 0..n_chunks {
+            match cursor.next_chunk(&mut out) {
+                Ok(true) => good += 1,
+                Ok(false) => {
+                    prop_assert!(false, "cursor ended early at chunk {}", i);
+                }
+                Err(CaptureError::Chunk { index, .. }) => bad.push(index as usize),
+                Err(other) => {
+                    prop_assert!(false, "expected chunk error, got {}", other);
+                }
+            }
+        }
+        prop_assert!(!cursor.next_chunk(&mut out).expect("clean end"));
+        drop(cursor);
+        drop(map);
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(bad, vec![victim]);
+        prop_assert!(good > 0 || n_chunks == 1);
     }
 
     /// Slicing by time then extracting spans equals extracting then

@@ -13,9 +13,11 @@
 # (streaming per-record push at several live-window widths vs the batch
 # detector over the same materialized capture), the `ps_integrator` bench
 # (lane/cached-tournament PS hold + probe vs the heap reference, with a
-# freeze-churn spill variant), and the `simulate_hot_loop` bench
+# freeze-churn spill variant), the `simulate_hot_loop` bench
 # (events/s of the end-to-end single-core simulate stage across baseline,
-# DVFS, and serial-GC schedules).
+# DVFS, and serial-GC schedules), and the `capture_cursor` bench (lazy
+# chunk cursor vs the batch FGBDCAP2 reader: full vs projected column
+# decode, time-range chunk pruning, and the mmap-backed pass).
 #
 # If any run manifests exist under out/manifests/ (written by the
 # fgbd-repro binaries, see crates/obsv), the newest one's per-stage wall
@@ -35,6 +37,7 @@ if [ "$1" != "--no-run" ]; then
     cargo bench -p fgbd-bench --bench online_detect
     cargo bench -p fgbd-bench --bench ps_integrator
     cargo bench -p fgbd-bench --bench simulate_hot_loop
+    cargo bench -p fgbd-bench --bench capture_cursor
 fi
 
 python3 - <<'EOF'
@@ -82,6 +85,11 @@ if os.path.isdir(manifest_dir):
         for stage in doc.get("stages", []):
             key = f"manifest:{doc.get('name', '?')}/{stage['path']}"
             out[key] = stage["total_ns"]
+        # Peak RSS rides along with the stage times (crates/repro/harness
+        # stamps vm_hwm_kib into every manifest on Linux) so memory
+        # regressions in the zero-copy path show up next to time ones.
+        if "vm_hwm_kib" in doc:
+            out[f"manifest:{doc.get('name', '?')}/vm_hwm_kib"] = doc["vm_hwm_kib"]
         print(f"folded {len(doc.get('stages', []))} stages from {newest}")
 
 with open("BENCH_analysis.json", "w") as f:
